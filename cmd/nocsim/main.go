@@ -1,0 +1,200 @@
+// Command nocsim runs a single on-chip-network simulation and prints its
+// measurements: one (topology, scheme, routing, VA policy, workload)
+// configuration per invocation.
+//
+// Examples:
+//
+//	nocsim -topo mesh8x8 -scheme pseudo+s+b -routing xy -va static \
+//	       -traffic uniform -rate 0.10
+//	nocsim -topo cmesh4x4x4 -scheme baseline -benchmark specjbb
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+func main() {
+	var (
+		topoFlag  = flag.String("topo", "cmesh4x4x4", "topology: mesh8x8, cmesh4x4x4, mecs4x4x4, fbfly4x4x4, or mesh<K>x<K>")
+		scheme    = flag.String("scheme", "pseudo+s+b", "scheme: baseline, pseudo, pseudo+s, pseudo+b, pseudo+s+b")
+		algo      = flag.String("routing", "xy", "routing algorithm: xy, yx, o1turn")
+		policy    = flag.String("va", "static", "VC allocation: static, dynamic")
+		benchmark = flag.String("benchmark", "", "CMP benchmark profile (closed-loop); empty selects synthetic traffic")
+		pattern   = flag.String("traffic", "uniform", "synthetic pattern: uniform, bitcomp, transpose")
+		rate      = flag.Float64("rate", 0.05, "synthetic injection rate (flits/node/cycle)")
+		warmup    = flag.Int("warmup", 1000, "warmup cycles")
+		measure   = flag.Int("measure", 10000, "measured cycles")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		useEVC    = flag.Bool("evc", false, "use the Express-Virtual-Channel comparison router (scheme must be baseline)")
+		config    = flag.String("config", "", "JSON experiment spec file (overrides the individual flags)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		links     = flag.Int("links", 0, "also print the N most-loaded channels")
+	)
+	flag.Parse()
+
+	var exp noc.Experiment
+	if *config != "" {
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fatal("reading config: %v", err)
+		}
+		var spec noc.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatal("parsing config: %v", err)
+		}
+		if exp, err = spec.Experiment(); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		exp = noc.Experiment{
+			Topology: parseTopo(*topoFlag),
+			Scheme:   parseScheme(*scheme),
+			Routing:  parseRouting(*algo),
+			Policy:   parsePolicy(*policy),
+			Warmup:   *warmup,
+			Measure:  *measure,
+			Seed:     *seed,
+			UseEVC:   *useEVC,
+		}
+	}
+
+	var w noc.Workload
+	if *benchmark != "" {
+		var err error
+		w, err = exp.CMPWorkload(*benchmark)
+		if err != nil {
+			fatal(err.Error())
+		}
+	} else {
+		w = exp.SyntheticWorkload(noc.Synthetic{Pattern: parsePattern(*pattern), Rate: *rate})
+	}
+	n := exp.Build()
+	res := exp.RunOn(n, w)
+
+	if *jsonOut {
+		out := struct {
+			Spec   noc.Spec   `json:"spec"`
+			Result noc.Result `json:"result"`
+		}{noc.SpecOf(exp), res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal("encoding result: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("topology            %s (%d nodes, avg hops %.2f)\n", exp.Topology.Name(), exp.Topology.Nodes(), res.AvgHops)
+	fmt.Printf("scheme              %v  routing %v  VA %v\n", exp.Scheme, exp.Routing, exp.Policy)
+	fmt.Printf("packets delivered   %d (%d flits) over %d cycles\n", res.PacketsDelivered, res.FlitsDelivered, res.Cycles)
+	fmt.Printf("avg latency         %.2f cycles (network %.2f)\n", res.AvgLatency, res.AvgNetLatency)
+	fmt.Printf("throughput          %.4f flits/node/cycle\n", res.Throughput)
+	fmt.Printf("pc reusability      %.1f%%  (buffer bypass %.1f%%)\n", 100*res.Reusability, 100*res.BypassRate)
+	fmt.Printf("temporal locality   e2e %.1f%%  crossbar %.1f%%\n", 100*res.E2ELocality, 100*res.XbarLocality)
+	fmt.Printf("router energy       %.1f nJ (buffer %.1f%%, crossbar %.1f%%, arbiter %.1f%%)\n",
+		res.EnergyPJ/1000,
+		100*res.BufferPJ/res.EnergyPJ, 100*res.CrossbarPJ/res.EnergyPJ, 100*res.ArbiterPJ/res.EnergyPJ)
+	if *links > 0 {
+		fmt.Printf("\nmost-loaded channels:\n")
+		for i, l := range n.LinkLoads() {
+			if i >= *links {
+				break
+			}
+			kind := "link"
+			if l.Ejection {
+				kind = "eject"
+			}
+			fmt.Printf("  router %2d out %2d (%s)  %6d flits  %.3f flits/cycle\n",
+				l.Router, l.Out, kind, l.Flits, l.Utilization)
+		}
+	}
+}
+
+func parseTopo(s string) noc.Topology {
+	switch s {
+	case "cmesh4x4x4":
+		return noc.CMesh(4, 4, 4)
+	case "mecs4x4x4":
+		return noc.MECS(4, 4, 4)
+	case "fbfly4x4x4":
+		return noc.FBFly(4, 4, 4)
+	default:
+		var kx, ky int
+		if n, err := fmt.Sscanf(s, "mesh%dx%d", &kx, &ky); n == 2 && err == nil {
+			return noc.Mesh(kx, ky)
+		}
+		fatal("unknown topology %q", s)
+		return nil
+	}
+}
+
+func parseScheme(s string) noc.Scheme {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return noc.Baseline
+	case "pseudo":
+		return noc.Pseudo
+	case "pseudo+s":
+		return noc.PseudoS
+	case "pseudo+b":
+		return noc.PseudoB
+	case "pseudo+s+b":
+		return noc.PseudoSB
+	default:
+		fatal("unknown scheme %q", s)
+		return noc.Baseline
+	}
+}
+
+func parseRouting(s string) noc.Algorithm {
+	switch strings.ToLower(s) {
+	case "xy":
+		return routing.XY
+	case "yx":
+		return routing.YX
+	case "o1turn":
+		return routing.O1TURN
+	default:
+		fatal("unknown routing algorithm %q", s)
+		return routing.XY
+	}
+}
+
+func parsePolicy(s string) noc.Policy {
+	switch strings.ToLower(s) {
+	case "static":
+		return vcalloc.Static
+	case "dynamic":
+		return vcalloc.Dynamic
+	default:
+		fatal("unknown VA policy %q", s)
+		return vcalloc.Dynamic
+	}
+}
+
+func parsePattern(s string) noc.Pattern {
+	switch strings.ToLower(s) {
+	case "uniform", "ur":
+		return noc.UniformRandom
+	case "bitcomp", "bc":
+		return noc.BitComplement
+	case "transpose", "bp":
+		return noc.BitPermutation
+	default:
+		fatal("unknown traffic pattern %q", s)
+		return noc.UniformRandom
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nocsim: "+format+"\n", args...)
+	os.Exit(1)
+}

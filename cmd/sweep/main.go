@@ -1,0 +1,104 @@
+// Command sweep regenerates the paper's evaluation: every figure and table
+// (Fig. 1, 6, 8-14, Tables I-II) plus the ablation study, printing the same
+// rows/series the paper reports.
+//
+// Examples:
+//
+//	sweep -exp all                 # everything (takes a few minutes)
+//	sweep -exp fig8                # one figure
+//	sweep -exp fig9 -benchmarks fma3d,specjbb -measure 5000
+//	sweep -exp fig12 -csv          # CSV output for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pseudocircuit/internal/experiments"
+)
+
+// tabler lets every figure result render uniformly.
+type tabler interface {
+	Tables() []experiments.Table
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig1, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, ablations, ext-system, ext-load, ext-depth, all")
+		warmup  = flag.Int("warmup", 1000, "warmup cycles")
+		measure = flag.Int("measure", 10000, "measured cycles")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	runners := map[string]func() tabler{
+		"fig1":  func() tabler { return experiments.Fig1(o) },
+		"fig6":  func() tabler { return experiments.Fig6(o) },
+		"fig8":  func() tabler { return experiments.Fig8(o) },
+		"fig9":  func() tabler { return gridOnce(o) },
+		"fig10": func() tabler { return gridOnce(o) },
+		"fig11": func() tabler { return experiments.Fig11(o) },
+		"fig12": func() tabler { return experiments.Fig12(o) },
+		"fig13": func() tabler { return experiments.Fig13(o) },
+		"fig14": func() tabler { return experiments.Fig14(o) },
+		"table1": func() tabler {
+			return tableOnly{experiments.TableI()}
+		},
+		"table2": func() tabler {
+			return tableOnly{experiments.TableII()}
+		},
+		"ablations":  func() tabler { return experiments.Ablations(o) },
+		"ext-system": func() tabler { return experiments.SystemImpact(o) },
+		"ext-load":   func() tabler { return experiments.ReuseVsLoad(o) },
+		"ext-depth":  func() tabler { return experiments.SpecDepth(o) },
+	}
+
+	order := []string{"table1", "table2", "fig1", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "ablations", "ext-system", "ext-load", "ext-depth"}
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		selected = []string{*exp}
+	}
+
+	for _, name := range selected {
+		r := runners[name]()
+		for _, t := range r.Tables() {
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+}
+
+// gridCache avoids running the expensive Fig. 9/10 grid twice when both are
+// requested in one invocation.
+var gridCache *experiments.GridResult
+
+func gridOnce(o experiments.Options) tabler {
+	if gridCache == nil {
+		g := experiments.Fig9And10(o)
+		gridCache = &g
+	}
+	return gridCache
+}
+
+// tableOnly adapts a bare Table to the tabler interface.
+type tableOnly struct{ t experiments.Table }
+
+func (t tableOnly) Tables() []experiments.Table { return []experiments.Table{t.t} }

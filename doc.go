@@ -1,0 +1,13 @@
+// Package pseudocircuit is a from-scratch Go reproduction of
+// "Pseudo-Circuit: Accelerating Communication for On-Chip Interconnection
+// Networks" (Minseon Ahn and Eun Jung Kim, MICRO 2010).
+//
+// The public API lives in pseudocircuit/noc. The command-line tools are
+// cmd/nocsim (single simulation), cmd/sweep (regenerate every figure and
+// table of the paper's evaluation) and cmd/tracegen (trace extraction,
+// inspection and replay). bench_test.go in this directory provides one
+// testing.B benchmark per paper figure/table.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package pseudocircuit

@@ -1,0 +1,91 @@
+// Load sweep: reproduce the shape of the paper's Fig. 12 for one synthetic
+// pattern — average latency versus offered traffic for the baseline and the
+// full pseudo-circuit scheme, up to saturation, with a crude ASCII plot.
+//
+// Run with: go run ./examples/loadsweep [uniform|bitcomp|transpose]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pseudocircuit/noc"
+)
+
+func main() {
+	pattern := noc.UniformRandom
+	name := "uniform random"
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "uniform":
+		case "bitcomp":
+			pattern, name = noc.BitComplement, "bit complement"
+		case "transpose":
+			pattern, name = noc.BitPermutation, "bit permutation (transpose)"
+		default:
+			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", os.Args[1])
+			os.Exit(1)
+		}
+	}
+
+	loads := []float64{0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.23}
+	fmt.Printf("8x8 mesh, XY + static VA, %s, 5-flit packets\n\n", name)
+	fmt.Printf("%-6s %10s %12s %8s\n", "load", "baseline", "pseudo+s+b", "gain")
+
+	type point struct{ base, psb float64 }
+	var pts []point
+	for _, load := range loads {
+		run := func(s noc.Scheme) float64 {
+			exp := noc.Experiment{
+				Topology: noc.Mesh(8, 8),
+				Scheme:   s,
+				Routing:  noc.XY,
+				Policy:   noc.StaticVA,
+				Measure:  6000,
+			}
+			return exp.RunSynthetic(noc.Synthetic{Pattern: pattern, Rate: load}).AvgLatency
+		}
+		b, p := run(noc.Baseline), run(noc.PseudoSB)
+		pts = append(pts, point{b, p})
+		fmt.Printf("%-6.2f %10.2f %12.2f %7.1f%%\n", load, b, p, 100*(1-p/b))
+	}
+
+	// ASCII latency curves (capped to keep saturation readable).
+	const cap = 120.0
+	fmt.Println("\nlatency (B = baseline, P = pseudo+s+b, * = overlap; x-axis load, capped at 120 cycles)")
+	for row := 10; row >= 0; row-- {
+		lo := cap * float64(row) / 11
+		hi := cap * float64(row+1) / 11
+		line := make([]byte, len(pts)*6)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i, p := range pts {
+			b := min(p.base, cap)
+			s := min(p.psb, cap)
+			bin := func(v float64) bool { return v >= lo && v < hi }
+			switch {
+			case bin(b) && bin(s):
+				line[i*6+2] = '*'
+			case bin(b):
+				line[i*6+2] = 'B'
+			case bin(s):
+				line[i*6+2] = 'P'
+			}
+		}
+		fmt.Printf("%6.0f |%s\n", hi, strings.TrimRight(string(line), " "))
+	}
+	fmt.Printf("       +%s\n        ", strings.Repeat("-", len(pts)*6))
+	for _, l := range loads {
+		fmt.Printf("%-6.2f", l)
+	}
+	fmt.Println()
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Topology study: the paper's §7 experiments in one program — how the
+// pseudo-circuit scheme composes with express topologies (Fig. 13) and how
+// it compares against Express Virtual Channels (Fig. 14).
+//
+// Run with: go run ./examples/topologies
+package main
+
+import (
+	"fmt"
+
+	"pseudocircuit/noc"
+)
+
+const benchmark = "fma3d"
+
+func main() {
+	fmt.Printf("Benchmark: %s (CMP platform, 64 terminals)\n\n", benchmark)
+	topologyStudy()
+	evcComparison()
+}
+
+// topologyStudy reproduces Fig. 13: per-hop savings (pseudo-circuits) stack
+// with hop-count savings (express topologies).
+func topologyStudy() {
+	topos := []struct {
+		name string
+		topo noc.Topology
+	}{
+		{"Mesh 8x8", noc.Mesh(8, 8)},
+		{"CMesh 4x4x4", noc.CMesh(4, 4, 4)},
+		{"MECS 4x4x4", noc.MECS(4, 4, 4)},
+		{"FBFLY 4x4x4", noc.FBFly(4, 4, 4)},
+	}
+	fmt.Printf("%-12s %8s %10s %12s %10s\n", "topology", "hops", "baseline", "pseudo+s+b", "vs mesh")
+	var meshBase float64
+	for i, tc := range topos {
+		base := run(tc.topo, noc.Baseline, false)
+		psb := run(tc.topo, noc.PseudoSB, false)
+		if i == 0 {
+			meshBase = base.AvgNetLatency
+		}
+		fmt.Printf("%-12s %8.2f %10.2f %12.2f %9.1f%%\n",
+			tc.name, base.AvgHops, base.AvgNetLatency, psb.AvgNetLatency,
+			100*(1-psb.AvgNetLatency/meshBase))
+	}
+	fmt.Println()
+}
+
+// evcComparison reproduces Fig. 14: EVC needs long rows of routers; the
+// pseudo-circuit scheme is topology-independent.
+func evcComparison() {
+	fmt.Printf("%-12s %10s %8s %12s\n", "topology", "baseline", "evc", "pseudo+s+b")
+	for _, tc := range []struct {
+		name string
+		make func() noc.Topology
+	}{
+		{"Mesh 8x8", func() noc.Topology { return noc.Mesh(8, 8) }},
+		{"CMesh 4x4x4", func() noc.Topology { return noc.CMesh(4, 4, 4) }},
+	} {
+		base := run(tc.make(), noc.Baseline, false).AvgNetLatency
+		evc := run(tc.make(), noc.Baseline, true).AvgNetLatency
+		psb := run(tc.make(), noc.PseudoSB, false).AvgNetLatency
+		fmt.Printf("%-12s %10.2f %8.2f %12.2f   (normalized: 1.00 / %.3f / %.3f)\n",
+			tc.name, base, evc, psb, evc/base, psb/base)
+	}
+}
+
+func run(t noc.Topology, s noc.Scheme, useEVC bool) noc.Result {
+	exp := noc.Experiment{
+		Topology: t,
+		Scheme:   s,
+		Routing:  noc.XY,
+		Policy:   noc.DynamicVA,
+		UseEVC:   useEVC,
+	}
+	res, err := exp.RunCMP(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module pseudocircuit
+
+go 1.22

@@ -1,0 +1,103 @@
+package cmp
+
+import (
+	"pseudocircuit/internal/topology"
+)
+
+// TableI holds the paper's CMP configuration parameters (Table I). Cache
+// geometry (sizes, associativities) is recorded for documentation; the
+// timing-relevant fields drive the model.
+type TableI struct {
+	Cores         int // out-of-order processors
+	L2Banks       int // 512 KB each
+	MSHRsPerCore  int // lockup-free L1: outstanding misses before the core throttles
+	CacheBlockB   int
+	L1ILatency    int // cycles
+	L2BankLatency int // cycles
+	MemoryLatency int // cycles
+	L1IKB, L1DKB  int
+	L1IWays       int
+	L1DWays       int
+	L2MB          int
+	L2Ways        int
+	ClockGHz      int
+	AddrFlits     int // address-only packet size
+	DataFlits     int // address + 64 B block packet size (128-bit links)
+	// InterleaveBlocks is the S-NUCA interleaving granularity in blocks
+	// (64 blocks = one 4 KB page): bursts through a page keep hitting the
+	// same home bank, which is what gives application traffic its
+	// pair-wise end-to-end locality (Fig. 1).
+	InterleaveBlocks int
+}
+
+// PaperTableI returns the configuration of paper Table I: 32 OoO cores,
+// 32 L2 banks (S-NUCA), 4 MSHRs per core, 64 B blocks, 16 MB shared L2,
+// 1-flit address packets and 5-flit data packets on 128-bit links.
+func PaperTableI() TableI {
+	return TableI{
+		Cores:         32,
+		L2Banks:       32,
+		MSHRsPerCore:  4,
+		CacheBlockB:   64,
+		L1ILatency:    1,
+		L2BankLatency: 6,
+		MemoryLatency: 200,
+		L1IKB:         32, L1DKB: 32,
+		L1IWays: 1, L1DWays: 4,
+		L2MB: 16, L2Ways: 16,
+		ClockGHz:         5,
+		AddrFlits:        1,
+		DataFlits:        5,
+		InterleaveBlocks: 4,
+	}
+}
+
+// Layout maps cores and L2 banks onto terminals of the paper's concentrated
+// mesh (Fig. 7): each router concentrates 2 processing cores and 2 L2 cache
+// banks. Terminal slots 0-1 of every router are cores, slots 2-3 are banks.
+type Layout struct {
+	topo topology.Topology
+	cfg  TableI
+}
+
+// NewLayout validates that the topology can host the CMP and returns the
+// node mapping.
+func NewLayout(t topology.Topology, cfg TableI) Layout {
+	if t.Nodes() != cfg.Cores+cfg.L2Banks {
+		panic("cmp: topology terminal count must equal cores + banks")
+	}
+	if t.Concentration()%2 != 0 && t.Concentration() != 1 {
+		panic("cmp: concentration must be even (or 1) to split cores and banks")
+	}
+	return Layout{topo: t, cfg: cfg}
+}
+
+// CoreNode returns the terminal node hosting core i.
+func (l Layout) CoreNode(i int) int {
+	c := l.topo.Concentration()
+	half := c / 2
+	if half == 0 { // concentration 1: even routers host cores, odd host banks
+		return 2 * i
+	}
+	return (i/half)*c + i%half
+}
+
+// BankNode returns the terminal node hosting L2 bank j.
+func (l Layout) BankNode(j int) int {
+	c := l.topo.Concentration()
+	half := c / 2
+	if half == 0 {
+		return 2*j + 1
+	}
+	return (j/half)*c + half + j%half
+}
+
+// HomeBank returns the S-NUCA home bank of a block address
+// (address-interleaved shared L2, Table I; page-granularity interleaving).
+func (l Layout) HomeBank(block uint64) int {
+	g := uint64(l.cfg.InterleaveBlocks)
+	if g == 0 {
+		g = 1
+	}
+	return int(block / g % uint64(l.cfg.L2Banks))
+}

@@ -1,0 +1,261 @@
+// Package core implements the paper's primary contribution: the
+// pseudo-circuit scheme (§3) and its two aggressive extensions,
+// pseudo-circuit speculation and buffer bypassing (§4).
+//
+// A pseudo-circuit is a crossbar connection (input port → output port) left
+// configured after a flit traversal, together with the switch-arbitration
+// history needed to reuse it: the input VC the previous flit came from and
+// the output port it went to, held in a per-input-port register (Fig. 3).
+// A later flit arriving on the same input VC whose lookahead routing
+// information matches the stored output port traverses the crossbar without
+// switch arbitration, removing one pipeline stage. With buffer bypassing it
+// also skips the buffer-write stage, removing a second.
+//
+// This package holds the state machines and matching logic (registers,
+// comparator, history registers, scheme/ablation options); the router
+// package wires them into the pipeline.
+package core
+
+import "fmt"
+
+// Scheme selects which of the paper's schemes is active. The four evaluated
+// configurations are Baseline (all false), Pseudo, Pseudo+S, Pseudo+B and
+// Pseudo+S+B.
+type Scheme struct {
+	// Pseudo enables pseudo-circuit creation/reuse (SA bypass), paper §3.
+	Pseudo bool
+	// Speculation enables pseudo-circuit speculation (§4.A). Implies Pseudo.
+	Speculation bool
+	// BufferBypass enables buffer bypassing (§4.B). Implies Pseudo.
+	BufferBypass bool
+}
+
+// The paper's five evaluated configurations.
+var (
+	Baseline = Scheme{}
+	Pseudo   = Scheme{Pseudo: true}
+	PseudoS  = Scheme{Pseudo: true, Speculation: true}
+	PseudoB  = Scheme{Pseudo: true, BufferBypass: true}
+	PseudoSB = Scheme{Pseudo: true, Speculation: true, BufferBypass: true}
+)
+
+// Schemes lists the evaluated configurations in the paper's plotting order.
+var Schemes = []Scheme{Baseline, Pseudo, PseudoS, PseudoB, PseudoSB}
+
+// String returns the paper's label for the scheme.
+func (s Scheme) String() string {
+	switch {
+	case !s.Pseudo:
+		return "Baseline"
+	case s.Speculation && s.BufferBypass:
+		return "Pseudo+S+B"
+	case s.Speculation:
+		return "Pseudo+S"
+	case s.BufferBypass:
+		return "Pseudo+B"
+	default:
+		return "Pseudo"
+	}
+}
+
+// Validate reports configuration errors (aggressive schemes without the base
+// scheme).
+func (s Scheme) Validate() error {
+	if !s.Pseudo && (s.Speculation || s.BufferBypass) {
+		return fmt.Errorf("core: scheme %+v enables an aggressive scheme without Pseudo", s)
+	}
+	return nil
+}
+
+// Options bundles the scheme with the ablation knobs DESIGN.md §7 calls out.
+// DefaultOptions returns the paper's configuration.
+type Options struct {
+	Scheme
+
+	// TerminateOnZeroCredit terminates a pseudo-circuit as soon as its
+	// output port runs out of downstream credit (§3.C condition 2). The
+	// paper requires this so a connected pseudo-circuit guarantees credit
+	// availability. Ablation: keep the circuit and merely stall.
+	TerminateOnZeroCredit bool
+
+	// SpecHistoryDepth extends pseudo-circuit speculation with a per-input
+	// history of the last N connections (default 1 — the paper's single
+	// register pair). The paper's speculation can only revive a circuit
+	// whose input register still points at the idle output; once the input
+	// port connects elsewhere the history is lost, which is why the paper
+	// finds speculation's contribution "small ... due to limited prediction
+	// capability" (§6.A). Depth N>1 remembers the input's N most recent
+	// connections and revives the most recent one targeting the idle
+	// output — an extension in the spirit of §8's future work.
+	SpecHistoryDepth int
+
+	// SpeculateToCongested allows pseudo-circuit speculation to revive
+	// circuits whose output port has no downstream credit. The paper
+	// forbids this ("to avoid buffer overflow in the downstream router,
+	// pseudo-circuit speculation does not create any pseudo-circuit to the
+	// output port of the congested downstream router", §4.A); enabling it
+	// is an ablation that shows such circuits are immediately re-terminated
+	// and only churn state.
+	SpeculateToCongested bool
+
+	// PCDefersToSA selects the strict reading of §3.C's "pseudo-circuit
+	// traversal is made only when no other flit in SA claims any part of
+	// the pseudo-circuit": when true, a matching flit yields to mere SA
+	// *requests* on either port. The default (false) reads "claims" as
+	// granted connections: SA grants always win — they terminate the
+	// circuit and reconfigure the crossbar for the next cycle — while the
+	// matching flit may still ride the circuit in the current cycle.
+	// Both readings are starvation-free (arbitration is never blocked by a
+	// pseudo-circuit); the strict reading costs extra deferral cycles and
+	// is kept as an ablation.
+	PCDefersToSA bool
+}
+
+// DefaultOptions returns the paper's configuration for the given scheme.
+func DefaultOptions(s Scheme) Options {
+	return Options{
+		Scheme:                s,
+		TerminateOnZeroCredit: true,
+		SpecHistoryDepth:      1,
+	}
+}
+
+// Register is the per-input-port pseudo-circuit register (Fig. 3 (a)): the
+// input VC and output port of the most recent crossbar connection through
+// this input port, plus a valid bit. Termination clears only the valid bit,
+// leaving the registers intact so speculation can revive the circuit
+// (§3.C, §4.A).
+type Register struct {
+	InVC    int
+	OutPort int
+	Valid   bool
+	// Speculative marks circuits created by pseudo-circuit speculation, for
+	// accounting only; behaviour is identical.
+	Speculative bool
+}
+
+// NewRegister returns an empty (invalid) register.
+func NewRegister() Register {
+	return Register{InVC: -1, OutPort: -1}
+}
+
+// Match implements the pseudo-circuit comparator: it reports whether a flit
+// on input VC vc destined for output port out may reuse the circuit. The
+// hardware comparator (37 ps at 45 nm) fits within the ST stage, so matching
+// costs no extra cycle.
+func (r *Register) Match(vc, out int) bool {
+	return r.Valid && r.InVC == vc && r.OutPort == out
+}
+
+// Set records a fresh connection after a crossbar traversal, making the
+// circuit valid and non-speculative.
+func (r *Register) Set(vc, out int) {
+	r.InVC = vc
+	r.OutPort = out
+	r.Valid = true
+	r.Speculative = false
+}
+
+// Terminate disconnects the circuit, clearing the valid bit without touching
+// the registers (§3.C).
+func (r *Register) Terminate() {
+	r.Valid = false
+}
+
+// SetSpeculative connects the register to (vc, out) speculatively — the
+// depth-N speculation path, which may restore a connection older than the
+// register's own last value. It panics if the register is already valid.
+func (r *Register) SetSpeculative(vc, out int) {
+	if r.Valid {
+		panic("core: SetSpeculative on a valid pseudo-circuit")
+	}
+	r.InVC = vc
+	r.OutPort = out
+	r.Valid = true
+	r.Speculative = true
+}
+
+// Revive speculatively reconnects the terminated circuit (§4.A). It panics
+// if the register is already valid; speculation must only use unallocated
+// connections.
+func (r *Register) Revive() {
+	if r.Valid {
+		panic("core: Revive on a valid pseudo-circuit")
+	}
+	if r.OutPort < 0 {
+		panic("core: Revive on a register that never held a circuit")
+	}
+	r.Valid = true
+	r.Speculative = true
+}
+
+// History is the per-output-port history register used by pseudo-circuit
+// speculation (Fig. 5 (b)): the input port of the most recent pseudo-circuit
+// through this output port. It resolves conflicts when several input ports'
+// registers point at the same output: only the most recent connection is
+// revived.
+type History struct {
+	InPort int
+	Valid  bool
+}
+
+// NewHistory returns an empty history register.
+func NewHistory() History { return History{InPort: -1} }
+
+// Record notes that input port in was most recently connected to this
+// output.
+func (h *History) Record(in int) {
+	h.InPort = in
+	h.Valid = true
+}
+
+// InputHistory is the depth-N per-input connection history backing the
+// SpecHistoryDepth extension: a small most-recent-first list of the
+// connections this input port carried. Depth 1 reproduces the paper (the
+// single register pair is the history).
+type InputHistory struct {
+	entries []histEntry
+	depth   int
+}
+
+type histEntry struct {
+	VC, Out int
+}
+
+// NewInputHistory builds a history of the given depth (minimum 1).
+func NewInputHistory(depth int) InputHistory {
+	if depth < 1 {
+		depth = 1
+	}
+	return InputHistory{depth: depth}
+}
+
+// Record notes a connection (vc → out), promoting it to most recent.
+func (h *InputHistory) Record(vc, out int) {
+	e := histEntry{VC: vc, Out: out}
+	for i, x := range h.entries {
+		if x.Out == out {
+			copy(h.entries[1:i+1], h.entries[:i])
+			h.entries[0] = e
+			return
+		}
+	}
+	if len(h.entries) < h.depth {
+		h.entries = append(h.entries, histEntry{})
+	}
+	copy(h.entries[1:], h.entries)
+	h.entries[0] = e
+}
+
+// Lookup returns the input VC of the most recent connection to out, if any.
+func (h *InputHistory) Lookup(out int) (vc int, ok bool) {
+	for _, e := range h.entries {
+		if e.Out == out {
+			return e.VC, true
+		}
+	}
+	return 0, false
+}
+
+// Depth returns the configured depth.
+func (h *InputHistory) Depth() int { return h.depth }

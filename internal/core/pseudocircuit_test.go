@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pseudocircuit/internal/core"
+)
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[string]core.Scheme{
+		"Baseline":   core.Baseline,
+		"Pseudo":     core.Pseudo,
+		"Pseudo+S":   core.PseudoS,
+		"Pseudo+B":   core.PseudoB,
+		"Pseudo+S+B": core.PseudoSB,
+	}
+	for label, s := range want {
+		if s.String() != label {
+			t.Errorf("%+v.String() = %q, want %q", s, s.String(), label)
+		}
+	}
+	if len(core.Schemes) != 5 {
+		t.Errorf("Schemes has %d entries, want 5", len(core.Schemes))
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	bad := core.Scheme{Speculation: true}
+	if bad.Validate() == nil {
+		t.Error("speculation without pseudo accepted")
+	}
+	bad = core.Scheme{BufferBypass: true}
+	if bad.Validate() == nil {
+		t.Error("bypass without pseudo accepted")
+	}
+	for _, s := range core.Schemes {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", s, err)
+		}
+	}
+}
+
+func TestRegisterLifecycle(t *testing.T) {
+	r := core.NewRegister()
+	if r.Valid {
+		t.Fatal("new register valid")
+	}
+	if r.Match(0, 0) {
+		t.Fatal("invalid register matched")
+	}
+	r.Set(2, 5)
+	if !r.Match(2, 5) {
+		t.Fatal("set register does not match its own connection")
+	}
+	if r.Match(1, 5) || r.Match(2, 4) {
+		t.Fatal("register matched a different connection")
+	}
+	r.Terminate()
+	if r.Valid || r.Match(2, 5) {
+		t.Fatal("terminated register still matches")
+	}
+	// Termination preserves the registers (§3.C) so speculation can revive.
+	if r.InVC != 2 || r.OutPort != 5 {
+		t.Fatal("termination cleared the registers")
+	}
+	r.Revive()
+	if !r.Valid || !r.Speculative || !r.Match(2, 5) {
+		t.Fatal("revive did not restore the circuit speculatively")
+	}
+	r.Set(2, 5)
+	if r.Speculative {
+		t.Fatal("traversal did not clear the speculative flag")
+	}
+}
+
+func TestRevivePanics(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Revive on valid register did not panic")
+			}
+		}()
+		r := core.NewRegister()
+		r.Set(0, 1)
+		r.Revive()
+	})
+	t.Run("never-set", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Revive on empty register did not panic")
+			}
+		}()
+		r := core.NewRegister()
+		r.Revive()
+	})
+}
+
+// TestMatchProperty: the comparator matches exactly the stored connection
+// while valid (Fig. 3 (a) semantics).
+func TestMatchProperty(t *testing.T) {
+	err := quick.Check(func(setVC, setOut, qVC, qOut uint8, terminated bool) bool {
+		r := core.NewRegister()
+		r.Set(int(setVC), int(setOut))
+		if terminated {
+			r.Terminate()
+			return !r.Match(int(qVC), int(qOut))
+		}
+		want := setVC == qVC && setOut == qOut
+		return r.Match(int(qVC), int(qOut)) == want
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	h := core.NewHistory()
+	if h.Valid {
+		t.Fatal("new history valid")
+	}
+	h.Record(3)
+	if !h.Valid || h.InPort != 3 {
+		t.Fatalf("history = %+v after Record(3)", h)
+	}
+	h.Record(1)
+	if h.InPort != 1 {
+		t.Fatal("history did not track most recent input")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := core.DefaultOptions(core.PseudoSB)
+	if !o.TerminateOnZeroCredit {
+		t.Error("paper terminates on congestion")
+	}
+	if o.PCDefersToSA {
+		t.Error("default reading lets SA grants preempt instead of deferring to requests")
+	}
+	if o.SpeculateToCongested {
+		t.Error("paper forbids speculation to congested outputs")
+	}
+	if o.Scheme != core.PseudoSB {
+		t.Error("scheme not carried")
+	}
+}

@@ -1,0 +1,494 @@
+// Package evc implements Express Virtual Channels (Kumar, Peh, Kundu & Jha,
+// ISCA 2007), the comparison baseline of paper §7.B. The paper's
+// configuration: dynamic EVCs with l_max = 2, 4 VCs per input port of which
+// 2 are reserved as express VCs (EVCs) and 2 remain normal VCs (NVCs),
+// 4-flit buffers.
+//
+// A packet with at least two remaining hops in its current dimension may
+// allocate an EVC: its flits then bypass the entire pipeline of the
+// intermediate router (a one-cycle latched pass-through with absolute
+// priority over locally arbitrated traffic) and are buffered at the express
+// sink two hops away. The EVC source performs flow control against the
+// sink's buffer, so express flits never stall mid-path.
+//
+// Implementation notes (documented deviations, DESIGN.md §4):
+//
+//   - Express paths are striped across the two EVCs by source-coordinate
+//     parity, so each (link, VC) pair carries a single source's express
+//     flits and credits can be relayed upstream deterministically instead of
+//     using the original paper's token scheme.
+//   - Pipeline grants preempted by an express pass-through are re-arbitrated
+//     (EVC's flit prioritization).
+//
+// The router pipeline is otherwise identical to the baseline speculative
+// router (BW | VA+SA | ST), with no pseudo-circuit machinery.
+package evc
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/router"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+)
+
+// oppositeIn maps a direction output port to the input port a flit sent on
+// it arrives at downstream (E→W, W→E, N→S, S→N).
+func oppositeIn(out int) int {
+	switch out {
+	case topology.PortE:
+		return topology.PortW
+	case topology.PortW:
+		return topology.PortE
+	case topology.PortN:
+		return topology.PortS
+	case topology.PortS:
+		return topology.PortN
+	default:
+		panic(fmt.Sprintf("evc: port %d is not a direction port", out))
+	}
+}
+
+type vcState struct {
+	buf     []*flit.Flit
+	at      []sim.Cycle
+	active  bool
+	outPort int
+	outVC   int
+	src     int
+	dst     int
+}
+
+func (v *vcState) reset() {
+	v.active = false
+	v.outPort = -1
+	v.outVC = -1
+}
+
+type inputPort struct {
+	vcs     []*vcState
+	arrival *flit.Flit
+	rrVC    int
+}
+
+type outputPort struct {
+	credits  []int // NVC: downstream buffer; EVC: express-sink buffer
+	vcBusy   []bool
+	rrIn     int
+	ejection bool
+}
+
+type reservation struct {
+	in, vc, out int
+	f           *flit.Flit
+}
+
+type saRequest struct {
+	in, vc, out int
+}
+
+// Router is an EVC-capable baseline router. It implements network.Node.
+type Router struct {
+	ID   int
+	cfg  *router.Config
+	mesh *topology.Mesh
+	base int // first EVC index (NumVCs - numEVCs)
+
+	in  []*inputPort
+	out []*outputPort
+
+	res     []reservation
+	nextRes []reservation
+	busyIn  []bool
+	busyOut []bool
+	reqs    []saRequest
+	chosen  []int
+
+	// Preemptions counts pipeline grants displaced by express flits.
+	Preemptions uint64
+	// ExpressForwards counts one-cycle intermediate bypasses.
+	ExpressForwards uint64
+}
+
+// New builds an EVC router on mesh with numEVCs express VCs (paper: 2).
+func New(id, inPorts, outPorts int, cfg *router.Config, mesh *topology.Mesh, numEVCs int) *Router {
+	if numEVCs < 2 || numEVCs%2 != 0 || numEVCs >= cfg.NumVCs {
+		panic("evc: need an even number of EVCs in [2, NumVCs)")
+	}
+	r := &Router{
+		ID:      id,
+		cfg:     cfg,
+		mesh:    mesh,
+		base:    cfg.NumVCs - numEVCs,
+		in:      make([]*inputPort, inPorts),
+		out:     make([]*outputPort, outPorts),
+		busyIn:  make([]bool, inPorts),
+		busyOut: make([]bool, outPorts),
+		chosen:  make([]int, inPorts),
+	}
+	for i := range r.in {
+		p := &inputPort{vcs: make([]*vcState, cfg.NumVCs)}
+		for v := range p.vcs {
+			p.vcs[v] = &vcState{outPort: -1, outVC: -1}
+		}
+		r.in[i] = p
+	}
+	for o := range r.out {
+		p := &outputPort{credits: make([]int, cfg.NumVCs), vcBusy: make([]bool, cfg.NumVCs)}
+		for v := range p.credits {
+			p.credits[v] = cfg.BufDepth
+		}
+		r.out[o] = p
+	}
+	return r
+}
+
+// MarkEjection implements network.Node.
+func (r *Router) MarkEjection(out int) { r.out[out].ejection = true }
+
+// Deliver implements network.Node.
+func (r *Router) Deliver(in int, f *flit.Flit) {
+	if r.in[in].arrival != nil {
+		panic(fmt.Sprintf("evc router %d: two flits on input port %d in one cycle", r.ID, in))
+	}
+	r.in[in].arrival = f
+}
+
+// DeliverCredit implements network.Node. EVC credits are relayed upstream
+// when the coordinate parity shows the express path originates there.
+func (r *Router) DeliverCredit(out, vc int) {
+	if vc >= r.base && out < 4 && !r.out[out].ejection {
+		if r.parityFor(out) != vc-r.base {
+			// Credit belongs to the upstream express source: relay it.
+			r.cfg.Credit(r.ID, oppositeIn(out), vc)
+			return
+		}
+	}
+	o := r.out[out]
+	o.credits[vc]++
+	if o.credits[vc] > r.cfg.BufDepth {
+		panic(fmt.Sprintf("evc router %d: credit overflow on out %d vc %d", r.ID, out, vc))
+	}
+}
+
+// parityFor returns this router's coordinate parity in the dimension of a
+// direction port, selecting which EVC this router sources express paths on.
+func (r *Router) parityFor(out int) int {
+	x, y := r.mesh.Coord(r.ID)
+	if out == topology.PortE || out == topology.PortW {
+		return x & 1
+	}
+	return y & 1
+}
+
+// expressCapable reports whether a packet leaving via out toward dst has at
+// least two remaining hops in that dimension (l_max = 2 express paths).
+func (r *Router) expressCapable(out, dst int) bool {
+	if out >= 4 {
+		return false
+	}
+	x, y := r.mesh.Coord(r.ID)
+	dr, _, _ := r.mesh.NodeRouter(dst)
+	dx, dy := r.mesh.Coord(dr)
+	switch out {
+	case topology.PortE:
+		return dx-x >= 2
+	case topology.PortW:
+		return x-dx >= 2
+	case topology.PortS:
+		return dy-y >= 2
+	case topology.PortN:
+		return y-dy >= 2
+	}
+	return false
+}
+
+// Tick implements network.Node.
+func (r *Router) Tick(now sim.Cycle) {
+	r.expressPass(now)
+	r.executeReservations(now)
+	r.admitHeads()
+	r.allocateVCs(now)
+	r.classify(now)
+	r.switchArbitrate()
+	r.processArrivals(now)
+	r.res, r.nextRes = r.nextRes, r.res[:0]
+}
+
+// expressPass forwards arriving express flits through the latch in their
+// arrival cycle, with absolute priority (phase 0).
+func (r *Router) expressPass(now sim.Cycle) {
+	for i := range r.busyIn {
+		r.busyIn[i] = false
+	}
+	for o := range r.busyOut {
+		r.busyOut[o] = false
+	}
+	for i, in := range r.in {
+		f := in.arrival
+		if f == nil || f.ExpressHops == 0 {
+			continue
+		}
+		out := f.NextOut
+		if i >= 4 || out != oppositeIn(i) {
+			panic(fmt.Sprintf("evc router %d: express flit %v not travelling straight (in %d out %d)", r.ID, f, i, out))
+		}
+		in.arrival = nil
+		f.ExpressHops--
+		f.Packet.Hops++
+		r.ExpressForwards++
+		r.cfg.Stats.Traversals++
+		r.cfg.Energy.AddTraversal()
+		r.cfg.Send(r.ID, out, f)
+		r.busyIn[i] = true
+		r.busyOut[out] = true
+	}
+	_ = now
+}
+
+// executeReservations performs ST for last cycle's grants; grants whose
+// output an express flit just claimed are preempted and re-arbitrated.
+func (r *Router) executeReservations(now sim.Cycle) {
+	for _, res := range r.res {
+		if r.busyOut[res.out] {
+			r.Preemptions++
+			continue
+		}
+		vs := r.in[res.in].vcs[res.vc]
+		if vs.outVC < 0 || !r.hasCredit(res.out, vs.outVC) {
+			continue
+		}
+		if len(vs.buf) == 0 || vs.buf[0] != res.f {
+			panic(fmt.Sprintf("evc router %d: reservation lost its flit", r.ID))
+		}
+		r.popBuffer(res.in, res.vc)
+		r.traverse(res.in, res.vc, res.out, res.f)
+		r.busyIn[res.in] = true
+		r.busyOut[res.out] = true
+	}
+	_ = now
+}
+
+func (r *Router) hasCredit(out, vc int) bool {
+	o := r.out[out]
+	return o.ejection || o.credits[vc] > 0
+}
+
+func (r *Router) admitHeads() {
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			if vs.active || len(vs.buf) == 0 {
+				continue
+			}
+			h := vs.buf[0]
+			if !h.Kind.IsHead() {
+				panic(fmt.Sprintf("evc router %d: non-head flit %v at head of idle VC", r.ID, h))
+			}
+			vs.active = true
+			vs.outPort = h.NextOut
+			vs.outVC = -1
+			vs.src = h.Packet.Src
+			vs.dst = h.Packet.Dst
+		}
+	}
+}
+
+// allocateVCs performs VA: express-capable packets prefer their parity EVC
+// (dynamic EVC allocation); everything else uses the NVC pool.
+func (r *Router) allocateVCs(now sim.Cycle) {
+	n := len(r.in)
+	start := int(now) % n
+	for k := 0; k < n; k++ {
+		in := r.in[(start+k)%n]
+		for _, vs := range in.vcs {
+			if !vs.active || vs.outVC >= 0 || len(vs.buf) == 0 || !vs.buf[0].Kind.IsHead() {
+				continue
+			}
+			r.tryVA(vs)
+		}
+	}
+}
+
+func (r *Router) tryVA(vs *vcState) {
+	o := r.out[vs.outPort]
+	if o.ejection {
+		vs.outVC = 0
+		return
+	}
+	if r.expressCapable(vs.outPort, vs.dst) {
+		v := r.base + r.parityFor(vs.outPort)
+		if !o.vcBusy[v] && o.credits[v] > 0 {
+			o.vcBusy[v] = true
+			vs.outVC = v
+			return
+		}
+	}
+	best, bestCred := -1, -1
+	for v := 0; v < r.base; v++ {
+		if o.vcBusy[v] {
+			continue
+		}
+		if o.credits[v] > bestCred {
+			best, bestCred = v, o.credits[v]
+		}
+	}
+	if best >= 0 {
+		o.vcBusy[best] = true
+		vs.outVC = best
+	}
+}
+
+func (r *Router) classify(now sim.Cycle) {
+	r.reqs = r.reqs[:0]
+	for i, in := range r.in {
+		for v, vs := range in.vcs {
+			if !vs.active || len(vs.buf) == 0 || vs.at[0] >= now {
+				continue
+			}
+			if vs.outVC < 0 {
+				r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+				continue
+			}
+			if !r.hasCredit(vs.outPort, vs.outVC) {
+				continue
+			}
+			r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+		}
+	}
+}
+
+func (r *Router) switchArbitrate() {
+	for i := range r.chosen {
+		r.chosen[i] = -1
+	}
+	for qi, q := range r.reqs {
+		ip := r.in[q.in]
+		if r.chosen[q.in] < 0 {
+			r.chosen[q.in] = qi
+			continue
+		}
+		cur := r.reqs[r.chosen[q.in]]
+		if rrDist(q.vc, ip.rrVC, r.cfg.NumVCs) < rrDist(cur.vc, ip.rrVC, r.cfg.NumVCs) {
+			r.chosen[q.in] = qi
+		}
+	}
+	for o, op := range r.out {
+		best := -1
+		for i := range r.in {
+			qi := r.chosen[i]
+			if qi < 0 || r.reqs[qi].out != o {
+				continue
+			}
+			if best < 0 || rrDist(i, op.rrIn, len(r.in)) < rrDist(best, op.rrIn, len(r.in)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		q := r.reqs[r.chosen[best]]
+		vs := r.in[q.in].vcs[q.vc]
+		r.cfg.Energy.AddArbitration()
+		r.cfg.Stats.SAGrants++
+		r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: vs.buf[0]})
+		r.in[q.in].rrVC = (q.vc + 1) % r.cfg.NumVCs
+		op.rrIn = (q.in + 1) % len(r.in)
+	}
+}
+
+func (r *Router) processArrivals(now sim.Cycle) {
+	for i, in := range r.in {
+		f := in.arrival
+		if f == nil {
+			continue
+		}
+		in.arrival = nil
+		vs := in.vcs[f.VC]
+		if len(vs.buf) >= r.cfg.BufDepth {
+			panic(fmt.Sprintf("evc router %d: buffer overflow at in %d vc %d", r.ID, i, f.VC))
+		}
+		vs.buf = append(vs.buf, f)
+		vs.at = append(vs.at, now)
+		r.cfg.Energy.AddWrite()
+	}
+}
+
+func (r *Router) popBuffer(in, vc int) {
+	vs := r.in[in].vcs[vc]
+	vs.buf = vs.buf[:copy(vs.buf, vs.buf[1:])]
+	vs.at = vs.at[:copy(vs.at, vs.at[1:])]
+	r.cfg.Energy.AddRead()
+	r.cfg.Credit(r.ID, in, vc)
+}
+
+func (r *Router) traverse(in, vc, out int, f *flit.Flit) {
+	vs := r.in[in].vcs[vc]
+	op := r.out[out]
+	r.cfg.Stats.Traversals++
+	r.cfg.Energy.AddTraversal()
+	f.VC = vs.outVC
+	if vs.outVC >= r.base && !op.ejection {
+		f.ExpressHops = 1 // one intermediate bypass ahead (l_max = 2)
+	}
+	if !op.ejection {
+		op.credits[vs.outVC]--
+		if op.credits[vs.outVC] < 0 {
+			panic(fmt.Sprintf("evc router %d: negative credit on out %d vc %d", r.ID, out, vs.outVC))
+		}
+	}
+	if f.Kind.IsHead() {
+		f.Packet.Hops++
+	}
+	if f.Kind.IsTail() {
+		if !op.ejection {
+			op.vcBusy[vs.outVC] = false
+		}
+		vs.reset()
+	}
+	r.cfg.Send(r.ID, out, f)
+}
+
+func rrDist(x, ptr, n int) int { return ((x-ptr)%n + n) % n }
+
+// Quiescent implements network.Node.
+func (r *Router) Quiescent() bool {
+	if len(r.res) != 0 {
+		return false
+	}
+	for _, in := range r.in {
+		if in.arrival != nil {
+			return false
+		}
+		for _, vs := range in.vcs {
+			if len(vs.buf) != 0 || vs.active {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckInvariants implements network.Node.
+func (r *Router) CheckInvariants() {
+	for i, in := range r.in {
+		for v, vs := range in.vcs {
+			if len(vs.buf) != len(vs.at) {
+				panic(fmt.Sprintf("evc router %d: buffer desync at in %d vc %d", r.ID, i, v))
+			}
+			if len(vs.buf) > r.cfg.BufDepth {
+				panic(fmt.Sprintf("evc router %d: buffer overflow at in %d vc %d", r.ID, i, v))
+			}
+		}
+	}
+	for o, op := range r.out {
+		if op.ejection {
+			continue
+		}
+		for v, c := range op.credits {
+			if c < 0 || c > r.cfg.BufDepth {
+				panic(fmt.Sprintf("evc router %d: credit %d out of range on out %d vc %d", r.ID, c, o, v))
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6, §7): each Fig/Table function runs the required simulations
+// and returns both typed results (asserted by tests) and printable tables
+// whose rows mirror what the paper reports. cmd/sweep prints them;
+// bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// Options tunes experiment runs. The zero value reproduces the full-size
+// runs used by cmd/sweep; benchmarks pass reduced cycle counts.
+type Options struct {
+	Warmup     int      // warmup cycles (default 1000)
+	Measure    int      // measured cycles (default 10000)
+	Benchmarks []string // benchmark subset for the trace figures (default: all)
+	Seed       uint64   // base seed (default 1)
+}
+
+func (o Options) defaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 1000
+	}
+	if o.Measure == 0 {
+		o.Measure = 10000
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = noc.CMPBenchmarks()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is a printable result set whose rows mirror a paper figure/table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// schemeLabels are the paper's plot labels.
+var schemeLabels = []string{"Baseline", "Pseudo", "Pseudo+S", "Pseudo+B", "Pseudo+S+B"}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+func num(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func norm(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// cmpTopology returns the CMP platform topology of paper §5 / Fig. 7: a 4×4
+// concentrated mesh with 2 cores + 2 L2 banks per router.
+func cmpTopology() noc.Topology { return topology.NewCMesh(4, 4, 4) }
+
+// cmpExperiment builds the standard CMP-platform experiment.
+func cmpExperiment(o Options, s core.Scheme, algo routing.Algorithm, pol vcalloc.Policy) noc.Experiment {
+	return noc.Experiment{
+		Topology: cmpTopology(),
+		Scheme:   s,
+		Routing:  algo,
+		Policy:   pol,
+		Seed:     o.Seed,
+		Warmup:   o.Warmup,
+		Measure:  o.Measure,
+	}
+}
+
+// baseline runs the no-scheme reference for a routing/VA combination.
+// The paper's headline comparison (§6.A) uses O1TURN with dynamic VA,
+// "which provides the best performance in the baseline system".
+func baseline(o Options, benchmark string, algo routing.Algorithm, pol vcalloc.Policy) noc.Result {
+	r, err := cmpExperiment(o, core.Baseline, algo, pol).RunCMP(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustRunCMP(e noc.Experiment, benchmark string) noc.Result {
+	r, err := e.RunCMP(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,67 @@
+package experiments_test
+
+import (
+	"os"
+	"testing"
+
+	"pseudocircuit/internal/experiments"
+)
+
+// quick returns reduced-size options so the full figure set runs in seconds.
+func quick() experiments.Options {
+	return experiments.Options{
+		Warmup:     500,
+		Measure:    4000,
+		Benchmarks: []string{"fma3d", "specjbb", "fft"},
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := experiments.Fig1(quick())
+	if r.AvgXbar <= r.AvgE2E {
+		t.Errorf("crossbar locality %.3f must exceed end-to-end %.3f (Fig. 1)", r.AvgXbar, r.AvgE2E)
+	}
+	if r.AvgE2E < 0.05 || r.AvgE2E > 0.5 {
+		t.Errorf("end-to-end locality %.3f outside plausible band (paper: ~0.22)", r.AvgE2E)
+	}
+	if r.AvgXbar < 0.15 || r.AvgXbar > 0.8 {
+		t.Errorf("crossbar locality %.3f outside plausible band (paper: ~0.31)", r.AvgXbar)
+	}
+	for _, tb := range r.Tables() {
+		tb.Fprint(os.Stderr)
+	}
+}
+
+func TestFig6PipelineDepths(t *testing.T) {
+	r := experiments.Fig6(experiments.Options{Warmup: 200, Measure: 1000})
+	want := []float64{3, 2, 1}
+	for i, got := range r.PerHop {
+		if got != want[i] {
+			t.Errorf("%s: per-hop router delay = %.2f cycles, want %.0f", r.Schemes[i], got, want[i])
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := experiments.Fig8(quick())
+	// Every scheme must win on average, and the aggressive schemes must
+	// beat plain Pseudo. The paper reports 16% for Pseudo+S+B; our
+	// substrate reproduces the ordering with a smaller magnitude
+	// (EXPERIMENTS.md discusses the gap), so the band is wide but strictly
+	// positive.
+	sb := r.AvgReduction[3]
+	if sb <= r.AvgReduction[0] {
+		t.Errorf("Pseudo+S+B avg reduction %.3f not above Pseudo %.3f", sb, r.AvgReduction[0])
+	}
+	if sb < 0.01 || sb > 0.35 {
+		t.Errorf("Pseudo+S+B avg reduction %.3f outside plausible band (paper: 0.16)", sb)
+	}
+	for i, red := range r.AvgReduction {
+		if red <= 0 {
+			t.Errorf("%s avg reduction %.3f not positive", r.Schemes[i], red)
+		}
+	}
+	for _, tb := range r.Tables() {
+		tb.Fprint(os.Stderr)
+	}
+}

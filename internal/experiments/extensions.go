@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/cmp"
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// SystemImpactResult addresses the paper's stated future work (§8):
+// "integrate our design in a full system simulator to evaluate the overall
+// system performance such as IPC". With the self-throttling MSHR model,
+// the system-level effect of the network shows up as average L1-miss
+// latency and the fraction of core-cycles stalled on full MSHRs; both are
+// reported per benchmark for the baseline and Pseudo+S+B.
+type SystemImpactResult struct {
+	Benchmarks []string
+	// BaseMissLat / PSBMissLat in cycles; BaseStall / PSBStall fractions.
+	BaseMissLat []float64
+	PSBMissLat  []float64
+	BaseStall   []float64
+	PSBStall    []float64
+}
+
+// SystemImpact runs the system-level extension experiment.
+func SystemImpact(o Options) SystemImpactResult {
+	o = o.defaults()
+	res := SystemImpactResult{Benchmarks: o.Benchmarks}
+	for _, b := range o.Benchmarks {
+		bm, bs := runSystem(o, b, core.Baseline)
+		pm, ps := runSystem(o, b, core.PseudoSB)
+		res.BaseMissLat = append(res.BaseMissLat, bm)
+		res.PSBMissLat = append(res.PSBMissLat, pm)
+		res.BaseStall = append(res.BaseStall, bs)
+		res.PSBStall = append(res.PSBStall, ps)
+	}
+	return res
+}
+
+func runSystem(o Options, benchmark string, s core.Scheme) (missLat, stall float64) {
+	e := cmpExperiment(o, s, routing.XY, vcalloc.Static)
+	n := e.Build()
+	wl, err := e.CMPWorkload(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	w := wl.(*cmp.Workload)
+	n.Run(w, o.Warmup)
+	n.ResetStats()
+	w.ResetSystemStats()
+	n.Run(w, o.Measure)
+	return w.AvgMissLatency(), w.StallFraction()
+}
+
+// Tables renders the extension.
+func (r SystemImpactResult) Tables() []Table {
+	t := Table{
+		ID:     "ext-system",
+		Title:  "System impact (extension; paper §8 future work): L1-miss latency and MSHR-stall fraction",
+		Header: []string{"benchmark", "base miss lat", "psb miss lat", "miss lat gain", "base stall", "psb stall"},
+	}
+	for i, b := range r.Benchmarks {
+		t.Rows = append(t.Rows, []string{
+			b,
+			num(r.BaseMissLat[i]), num(r.PSBMissLat[i]),
+			pct(1 - r.PSBMissLat[i]/r.BaseMissLat[i]),
+			pct(r.BaseStall[i]), pct(r.PSBStall[i]),
+		})
+	}
+	return []Table{t}
+}
+
+// SpecDepthResult evaluates the SpecHistoryDepth extension: speculation
+// with a per-input history of the last N connections instead of the
+// paper's single register pair (whose limited prediction capability the
+// paper itself notes, §6.A). Reported per depth: average latency,
+// reusability, and the fraction of reuses served by speculative circuits.
+type SpecDepthResult struct {
+	Depths    []int
+	Latency   []float64
+	Reuse     []float64
+	SpecShare []float64 // speculative reuses / all reuses
+}
+
+// SpecDepth runs the speculation-depth extension on the CMP platform
+// (Pseudo+S+B, XY + static VA, averaged over the benchmark subset).
+func SpecDepth(o Options) SpecDepthResult {
+	o = o.defaults()
+	res := SpecDepthResult{Depths: []int{1, 2, 4, 8}}
+	res.Latency = make([]float64, len(res.Depths))
+	res.Reuse = make([]float64, len(res.Depths))
+	res.SpecShare = make([]float64, len(res.Depths))
+	forEach(len(res.Depths), func(di int) {
+		opts := core.DefaultOptions(core.PseudoSB)
+		opts.SpecHistoryDepth = res.Depths[di]
+		nb := float64(len(o.Benchmarks))
+		for _, b := range o.Benchmarks {
+			e := noc.Experiment{
+				Topology: cmpTopology(),
+				Scheme:   opts.Scheme,
+				Opts:     &opts,
+				Routing:  routing.XY,
+				Policy:   vcalloc.Static,
+				Seed:     o.Seed,
+				Warmup:   o.Warmup,
+				Measure:  o.Measure,
+			}
+			n := e.Build()
+			wl, err := e.CMPWorkload(b)
+			if err != nil {
+				panic(err)
+			}
+			n.Run(wl, o.Warmup)
+			n.ResetStats()
+			n.Run(wl, o.Measure)
+			res.Latency[di] += n.Stats.AvgNetLatency() / nb
+			res.Reuse[di] += n.Stats.Reusability() / nb
+			if n.Stats.PCReused > 0 {
+				res.SpecShare[di] += float64(n.Stats.SpecReused) / float64(n.Stats.PCReused) / nb
+			}
+		}
+	})
+	return res
+}
+
+// Tables renders the extension.
+func (r SpecDepthResult) Tables() []Table {
+	t := Table{
+		ID:     "ext-depth",
+		Title:  "Speculation history depth (extension; depth 1 = paper)",
+		Header: []string{"depth", "net latency", "reusability", "speculative share of reuses"},
+	}
+	for i, d := range r.Depths {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", d), num(r.Latency[i]), pct(r.Reuse[i]), pct(r.SpecShare[i]),
+		})
+	}
+	return []Table{t}
+}
+
+// ReuseVsLoadResult quantifies the paper's §8 observation that "the
+// pseudo-circuit hardly reduces communication latency in high-load traffic
+// due to contentions between flits": pseudo-circuit reusability and latency
+// gain versus offered load on the synthetic platform.
+type ReuseVsLoadResult struct {
+	Loads  []float64
+	Reuse  []float64 // Pseudo+S+B reusability at each load
+	Bypass []float64
+	Gain   []float64 // latency reduction vs baseline at each load
+}
+
+// ReuseVsLoad runs the high-load extension experiment (uniform random on
+// the 8×8 mesh, XY + static VA).
+func ReuseVsLoad(o Options) ReuseVsLoadResult {
+	o = o.defaults()
+	res := ReuseVsLoadResult{Loads: []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22}}
+	for _, load := range res.Loads {
+		run := func(s core.Scheme) noc.Result {
+			e := noc.Experiment{
+				Topology: topology.NewMesh(8, 8),
+				Scheme:   s,
+				Routing:  routing.XY,
+				Policy:   vcalloc.Static,
+				Seed:     o.Seed,
+				Warmup:   o.Warmup,
+				Measure:  o.Measure,
+			}
+			return e.RunSynthetic(noc.Synthetic{Pattern: traffic.UniformRandom, Rate: load})
+		}
+		base := run(core.Baseline)
+		psb := run(core.PseudoSB)
+		res.Reuse = append(res.Reuse, psb.Reusability)
+		res.Bypass = append(res.Bypass, psb.BypassRate)
+		res.Gain = append(res.Gain, 1-psb.AvgLatency/base.AvgLatency)
+	}
+	return res
+}
+
+// Tables renders the extension.
+func (r ReuseVsLoadResult) Tables() []Table {
+	t := Table{
+		ID:     "ext-load",
+		Title:  "Reusability and gain vs offered load (extension; paper §8 high-load limitation)",
+		Header: []string{"load", "reusability", "bypass rate", "latency gain"},
+	}
+	for i, l := range r.Loads {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", l), pct(r.Reuse[i]), pct(r.Bypass[i]), pct(r.Gain[i]),
+		})
+	}
+	return []Table{t}
+}

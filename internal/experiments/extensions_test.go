@@ -1,0 +1,110 @@
+package experiments_test
+
+import (
+	"os"
+	"testing"
+
+	"pseudocircuit/internal/experiments"
+)
+
+func TestSystemImpactShape(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"fma3d", "swaptions"}
+	r := experiments.SystemImpact(o)
+	for i, b := range r.Benchmarks {
+		if r.BaseMissLat[i] <= 0 || r.PSBMissLat[i] <= 0 {
+			t.Fatalf("%s: zero miss latency", b)
+		}
+		// The L2-bank latency alone is 6 cycles plus two network
+		// traversals; anything below ~15 cycles is broken accounting.
+		if r.BaseMissLat[i] < 15 {
+			t.Errorf("%s: baseline miss latency %.1f implausibly low", b, r.BaseMissLat[i])
+		}
+		if r.PSBMissLat[i] >= r.BaseMissLat[i] {
+			t.Errorf("%s: Pseudo+S+B miss latency %.2f not below baseline %.2f",
+				b, r.PSBMissLat[i], r.BaseMissLat[i])
+		}
+	}
+	for _, tb := range r.Tables() {
+		tb.Fprint(os.Stderr)
+	}
+}
+
+func TestReuseVsLoadShape(t *testing.T) {
+	o := experiments.Options{Warmup: 300, Measure: 2500}
+	r := experiments.ReuseVsLoad(o)
+	if len(r.Loads) < 4 {
+		t.Fatal("too few load points")
+	}
+	// Low-load gain must exceed the gain near saturation (§8: contention
+	// erodes the benefit), and low-load reusability must be substantial.
+	first, last := r.Gain[0], r.Gain[len(r.Gain)-1]
+	if first < 0.05 {
+		t.Errorf("low-load gain %.3f too small", first)
+	}
+	if last >= first {
+		t.Errorf("gain did not erode with load: %.3f -> %.3f", first, last)
+	}
+	if r.Reuse[0] < 0.3 {
+		t.Errorf("low-load reusability %.3f too small", r.Reuse[0])
+	}
+	for _, tb := range r.Tables() {
+		tb.Fprint(os.Stderr)
+	}
+}
+
+func TestSpecDepthShape(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"fma3d"}
+	r := experiments.SpecDepth(o)
+	if len(r.Depths) < 3 || r.Depths[0] != 1 {
+		t.Fatalf("depths = %v", r.Depths)
+	}
+	for i, d := range r.Depths {
+		if r.Latency[i] <= 0 || r.Reuse[i] <= 0 {
+			t.Errorf("depth %d: empty result", d)
+		}
+	}
+	// Deeper history must not hurt speculative share at depth 2 vs 1 (it
+	// strictly remembers more), and latencies stay in a tight band — the
+	// extension finding is a plateau, not a cliff.
+	if r.SpecShare[1] < r.SpecShare[0]*0.8 {
+		t.Errorf("depth 2 spec share %.4f collapsed vs depth 1 %.4f", r.SpecShare[1], r.SpecShare[0])
+	}
+	for i := 1; i < len(r.Depths); i++ {
+		if r.Latency[i] > r.Latency[0]*1.1 {
+			t.Errorf("depth %d latency %.2f regressed >10%% vs depth 1 %.2f",
+				r.Depths[i], r.Latency[i], r.Latency[0])
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"fma3d"}
+	r := experiments.Ablations(o)
+	if len(r.Names) != 4 {
+		t.Fatalf("%d ablations, want 4", len(r.Names))
+	}
+	for i := range r.Names {
+		if r.Paper[i] <= 0 || r.Flipped[i] <= 0 {
+			t.Errorf("%s: zero latency", r.Names[i])
+		}
+	}
+	// Destination keying (the paper's choice) must beat flow keying.
+	if r.Paper[3] >= r.Flipped[3] {
+		t.Errorf("destination keying (%.2f) not better than flow keying (%.2f)",
+			r.Paper[3], r.Flipped[3])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := experiments.TableI()
+	if tb.ID != "table1" || len(tb.Rows) < 10 {
+		t.Fatalf("TableI = %+v", tb)
+	}
+	t2 := experiments.TableII()
+	if len(t2.Rows) != 3 {
+		t.Fatalf("TableII rows = %d", len(t2.Rows))
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// Fig1Result holds per-benchmark communication temporal locality (paper
+// Fig. 1): end-to-end (same source-destination pair as the source's
+// previous packet) versus crossbar-connection (same input-to-output
+// connection as the previous packet through that router input port).
+type Fig1Result struct {
+	Benchmarks []string
+	E2E        []float64
+	Xbar       []float64
+	AvgE2E     float64
+	AvgXbar    float64
+}
+
+// Fig1 measures communication temporal locality on the baseline router (the
+// property is intrinsic to the traffic, not the scheme) over the paper's
+// benchmark set. The paper reports ≈22% end-to-end and up to ≈31% crossbar
+// locality; the headline relationship is Xbar > E2E.
+func Fig1(o Options) Fig1Result {
+	o = o.defaults()
+	res := Fig1Result{
+		Benchmarks: o.Benchmarks,
+		E2E:        make([]float64, len(o.Benchmarks)),
+		Xbar:       make([]float64, len(o.Benchmarks)),
+	}
+	forEach(len(o.Benchmarks), func(i int) {
+		r := mustRunCMP(cmpExperiment(o, core.Baseline, routing.XY, vcalloc.Dynamic), o.Benchmarks[i])
+		res.E2E[i] = r.E2ELocality
+		res.Xbar[i] = r.XbarLocality
+	})
+	for i := range o.Benchmarks {
+		res.AvgE2E += res.E2E[i]
+		res.AvgXbar += res.Xbar[i]
+	}
+	res.AvgE2E /= float64(len(o.Benchmarks))
+	res.AvgXbar /= float64(len(o.Benchmarks))
+	return res
+}
+
+// Tables renders the figure.
+func (r Fig1Result) Tables() []Table {
+	t := Table{
+		ID:     "fig1",
+		Title:  "Communication temporal locality (end-to-end vs crossbar connection)",
+		Header: []string{"benchmark", "end-to-end", "crossbar"},
+	}
+	for i, b := range r.Benchmarks {
+		t.Rows = append(t.Rows, []string{b, pct(r.E2E[i]), pct(r.Xbar[i])})
+	}
+	t.Rows = append(t.Rows, []string{"average", pct(r.AvgE2E), pct(r.AvgXbar)})
+	return []Table{t}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// Fig11Result holds normalized router energy consumption per benchmark and
+// scheme, for XY and YX routing with static VA (paper Fig. 11). Values are
+// normalized to the same configuration's baseline; energy is normalized per
+// delivered flit so small load differences between runs do not skew the
+// comparison. The paper's finding: schemes without buffer bypassing save
+// almost nothing; with buffer bypassing energy drops ≈20%.
+type Fig11Result struct {
+	Benchmarks []string
+	Schemes    []string // Baseline..Pseudo+S+B (baseline = 1.0)
+	// Normalized[a][b][s]: a = 0 (XY), 1 (YX).
+	Normalized [][][]float64
+	// Avg[a][s] averages over benchmarks.
+	Avg [][]float64
+}
+
+// Fig11 runs the energy experiment.
+func Fig11(o Options) Fig11Result {
+	o = o.defaults()
+	algos := []routing.Algorithm{routing.XY, routing.YX}
+	res := Fig11Result{Benchmarks: o.Benchmarks, Schemes: schemeLabels}
+	res.Normalized = make([][][]float64, len(algos))
+	res.Avg = make([][]float64, len(algos))
+	for ai, algo := range algos {
+		algo := algo
+		res.Avg[ai] = make([]float64, len(core.Schemes))
+		res.Normalized[ai] = make([][]float64, len(o.Benchmarks))
+		forEach(len(o.Benchmarks), func(bi int) {
+			b := o.Benchmarks[bi]
+			row := make([]float64, len(core.Schemes))
+			var basePerFlit float64
+			for si, s := range core.Schemes {
+				r := mustRunCMP(cmpExperiment(o, s, algo, vcalloc.Static), b)
+				perFlit := r.EnergyPJ / float64(maxU64(r.FlitsDelivered, 1))
+				if si == 0 {
+					basePerFlit = perFlit
+				}
+				row[si] = perFlit / basePerFlit
+			}
+			res.Normalized[ai][bi] = row
+		})
+		for bi := range o.Benchmarks {
+			for si := range res.Avg[ai] {
+				res.Avg[ai][si] += res.Normalized[ai][bi][si] / float64(len(o.Benchmarks))
+			}
+		}
+	}
+	return res
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Tables renders Fig. 11 (a) XY and (b) YX.
+func (r Fig11Result) Tables() []Table {
+	labels := []string{"XY", "YX"}
+	var out []Table
+	for ai, lab := range labels {
+		t := Table{
+			ID:     fmt.Sprintf("fig11%c", 'a'+ai),
+			Title:  fmt.Sprintf("Normalized router energy, %s + static VA", lab),
+			Header: append([]string{"benchmark"}, r.Schemes...),
+		}
+		for bi, b := range r.Benchmarks {
+			row := []string{b}
+			for si := range r.Schemes {
+				row = append(row, norm(r.Normalized[ai][bi][si]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		avg := []string{"average"}
+		for si := range r.Schemes {
+			avg = append(avg, norm(r.Avg[ai][si]))
+		}
+		t.Rows = append(t.Rows, avg)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// Fig12Result holds the synthetic-workload load-latency curves (paper
+// Fig. 12): average latency versus offered traffic for uniform random (UR),
+// bit complement (BC) and bit permutation (BP, transpose) on an 8×8 mesh
+// with XY routing and static VA, 5-flit packets, for the baseline and the
+// four pseudo-circuit schemes. The paper reports ≈11% low-load improvement
+// for UR and BP and ≈6% for BC, with all schemes converging at saturation.
+type Fig12Result struct {
+	Patterns []string
+	Schemes  []string
+	// Loads[p] is the swept injection rates (flits/node/cycle); Latency[p][s][l].
+	Loads   [][]float64
+	Latency [][][]float64
+	// LowLoadImprovement[p][s] = 1 - latency(scheme)/latency(baseline) at
+	// the lowest load.
+	LowLoadImprovement [][]float64
+}
+
+// fig12Patterns maps each pattern to its load sweep; the upper ends sit
+// just past each pattern's saturation under XY on the 8×8 mesh (BP crosses
+// the diagonal and saturates earliest, BC next, UR last — §6.B).
+var fig12Patterns = []struct {
+	name    string
+	pattern traffic.Pattern
+	loads   []float64
+}{
+	{"UR", traffic.UniformRandom, []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26}},
+	{"BC", traffic.BitComplement, []float64{0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13}},
+	{"BP", traffic.BitPermutation, []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12}},
+}
+
+// Fig12 runs the synthetic load sweeps.
+func Fig12(o Options) Fig12Result {
+	o = o.defaults()
+	res := Fig12Result{Schemes: schemeLabels}
+	for _, pc := range fig12Patterns {
+		pc := pc
+		res.Patterns = append(res.Patterns, pc.name)
+		res.Loads = append(res.Loads, pc.loads)
+		lat := make([][]float64, len(core.Schemes))
+		for si := range core.Schemes {
+			lat[si] = make([]float64, len(pc.loads))
+		}
+		forEach(len(core.Schemes)*len(pc.loads), func(k int) {
+			si, li := k/len(pc.loads), k%len(pc.loads)
+			e := noc.Experiment{
+				Topology: topology.NewMesh(8, 8),
+				Scheme:   core.Schemes[si],
+				Routing:  routing.XY,
+				Policy:   vcalloc.Static,
+				Seed:     o.Seed,
+				Warmup:   o.Warmup,
+				Measure:  o.Measure,
+			}
+			r := e.RunSynthetic(noc.Synthetic{Pattern: pc.pattern, Rate: pc.loads[li], PacketSize: 5})
+			lat[si][li] = r.AvgLatency
+		})
+		impr := make([]float64, len(core.Schemes))
+		for si := range core.Schemes {
+			impr[si] = 1 - lat[si][0]/lat[0][0]
+		}
+		res.Latency = append(res.Latency, lat)
+		res.LowLoadImprovement = append(res.LowLoadImprovement, impr)
+	}
+	return res
+}
+
+// Tables renders one load-latency table per pattern.
+func (r Fig12Result) Tables() []Table {
+	var out []Table
+	for pi, p := range r.Patterns {
+		t := Table{
+			ID:     fmt.Sprintf("fig12%c", 'a'+pi),
+			Title:  fmt.Sprintf("Latency vs offered traffic, %s (8x8 mesh, XY, static VA)", p),
+			Header: []string{"load (flits/node/cyc)"},
+		}
+		t.Header = append(t.Header, r.Schemes...)
+		for li, load := range r.Loads[pi] {
+			row := []string{fmt.Sprintf("%.2f", load)}
+			for si := range r.Schemes {
+				row = append(row, num(r.Latency[pi][si][li]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		impr := []string{"low-load gain"}
+		for si := range r.Schemes {
+			impr = append(impr, pct(r.LowLoadImprovement[pi][si]))
+		}
+		t.Rows = append(t.Rows, impr)
+		out = append(out, t)
+	}
+	return out
+}

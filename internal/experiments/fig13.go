@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// Fig13Result holds the topology study (paper Fig. 13): communication
+// latency of every scheme on Mesh, CMesh, MECS and FBFLY, normalized to the
+// baseline mesh, for the fma3d trace with DOR and static VA. The paper's
+// findings: the pseudo-circuit scheme reduces per-hop delay on every
+// topology (up to ≈10%) while the express topologies reduce hop count, and
+// the combination exceeds 20–30% total reduction.
+type Fig13Result struct {
+	Topologies []string
+	Schemes    []string
+	Benchmark  string
+	// Normalized[t][s] = latency / latency(mesh baseline).
+	Normalized [][]float64
+	// AvgHops[t] recorded per topology (baseline run) for context.
+	AvgHops []float64
+}
+
+// Fig13 runs the topology comparison. All four topologies host the 64-node
+// CMP: the mesh as an 8×8 grid (one terminal per router), the concentrated
+// topologies as 4×4 grids with 4 terminals per router.
+func Fig13(o Options) Fig13Result {
+	o = o.defaults()
+	benchmark := "fma3d"
+	topos := []struct {
+		name string
+		make func() noc.Topology
+	}{
+		{"Mesh", func() noc.Topology { return topology.NewMesh(8, 8) }},
+		{"CMesh", func() noc.Topology { return topology.NewCMesh(4, 4, 4) }},
+		{"MECS", func() noc.Topology { return topology.NewMECS(4, 4, 4) }},
+		{"FBFLY", func() noc.Topology { return topology.NewFBFly(4, 4, 4) }},
+	}
+	res := Fig13Result{Schemes: schemeLabels, Benchmark: benchmark}
+	var meshBase float64
+	for ti, tc := range topos {
+		res.Topologies = append(res.Topologies, tc.name)
+		row := make([]float64, len(core.Schemes))
+		for si, s := range core.Schemes {
+			e := noc.Experiment{
+				Topology: tc.make(),
+				Scheme:   s,
+				Routing:  routing.XY,
+				Policy:   vcalloc.Static,
+				Seed:     o.Seed,
+				Warmup:   o.Warmup,
+				Measure:  o.Measure,
+			}
+			r := mustRunCMP(e, benchmark)
+			if ti == 0 && si == 0 {
+				meshBase = r.AvgNetLatency
+			}
+			row[si] = r.AvgNetLatency / meshBase
+			if si == 0 {
+				res.AvgHops = append(res.AvgHops, r.AvgHops)
+			}
+		}
+		res.Normalized = append(res.Normalized, row)
+	}
+	return res
+}
+
+// Tables renders the figure.
+func (r Fig13Result) Tables() []Table {
+	t := Table{
+		ID:     "fig13",
+		Title:  "Normalized latency by topology and scheme (" + r.Benchmark + ", DOR + static VA; 1.0 = mesh baseline)",
+		Header: append([]string{"topology", "avg hops"}, r.Schemes...),
+	}
+	for ti, top := range r.Topologies {
+		row := []string{top, num(r.AvgHops[ti])}
+		for si := range r.Schemes {
+			row = append(row, norm(r.Normalized[ti][si]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}

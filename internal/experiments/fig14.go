@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// Fig14Result compares the pseudo-circuit scheme with Express Virtual
+// Channels (paper Fig. 14) on an 8×8 mesh and a 4×4 concentrated mesh:
+// per-benchmark latency of Baseline, EVC (dynamic, l_max = 2, 2 EVCs + 2
+// NVCs) and Pseudo+S+B, normalized to each topology's baseline. The paper's
+// finding: EVC helps on the mesh but shows no average improvement on the
+// CMesh (too few routers per dimension, and the reserved EVCs shrink the
+// usable VC pool), while the pseudo-circuit scheme is topology-independent.
+type Fig14Result struct {
+	Topologies []string
+	Benchmarks []string
+	Variants   []string // Baseline, EVC, Pseudo+S+B
+	// Normalized[t][b][v] = latency / latency(baseline on that topology).
+	Normalized [][][]float64
+	// Avg[t][v] averages over benchmarks.
+	Avg [][]float64
+}
+
+// Fig14 runs the EVC comparison.
+func Fig14(o Options) Fig14Result {
+	o = o.defaults()
+	topos := []struct {
+		name string
+		make func() *topology.Mesh
+	}{
+		{"Mesh", func() *topology.Mesh { return topology.NewMesh(8, 8) }},
+		{"CMesh", func() *topology.Mesh { return topology.NewCMesh(4, 4, 4) }},
+	}
+	res := Fig14Result{
+		Benchmarks: o.Benchmarks,
+		Variants:   []string{"Baseline", "EVC", "Pseudo+S+B"},
+	}
+	for _, tc := range topos {
+		tc := tc
+		res.Topologies = append(res.Topologies, tc.name)
+		perBench := make([][]float64, len(o.Benchmarks))
+		avg := make([]float64, len(res.Variants))
+		forEach(len(o.Benchmarks), func(bi int) {
+			b := o.Benchmarks[bi]
+			run := func(scheme core.Scheme, useEVC bool) float64 {
+				e := noc.Experiment{
+					Topology: tc.make(),
+					Scheme:   scheme,
+					Routing:  routing.XY,
+					Policy:   vcalloc.Dynamic,
+					UseEVC:   useEVC,
+					Seed:     o.Seed,
+					Warmup:   o.Warmup,
+					Measure:  o.Measure,
+				}
+				return mustRunCMP(e, b).AvgNetLatency
+			}
+			base := run(core.Baseline, false)
+			perBench[bi] = []float64{
+				1.0,
+				run(core.Baseline, true) / base,
+				run(core.PseudoSB, false) / base,
+			}
+		})
+		for bi := range o.Benchmarks {
+			for v := range perBench[bi] {
+				avg[v] += perBench[bi][v] / float64(len(o.Benchmarks))
+			}
+		}
+		res.Normalized = append(res.Normalized, perBench)
+		res.Avg = append(res.Avg, avg)
+	}
+	return res
+}
+
+// Tables renders Fig. 14 (a) mesh and (b) concentrated mesh.
+func (r Fig14Result) Tables() []Table {
+	var out []Table
+	for ti, top := range r.Topologies {
+		t := Table{
+			ID:     fmt.Sprintf("fig14%c", 'a'+ti),
+			Title:  fmt.Sprintf("Normalized latency vs EVC, %s (XY, dynamic VA)", top),
+			Header: append([]string{"benchmark"}, r.Variants...),
+		}
+		for bi, b := range r.Benchmarks {
+			row := []string{b}
+			for vi := range r.Variants {
+				row = append(row, norm(r.Normalized[ti][bi][vi]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		avg := []string{"average"}
+		for vi := range r.Variants {
+			avg = append(avg, norm(r.Avg[ti][vi]))
+		}
+		t.Rows = append(t.Rows, avg)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// Fig6Result reports the measured per-hop router delay for each pipeline
+// (paper Fig. 6): baseline 3 cycles (BW | VA+SA | ST), pseudo-circuit hit 2
+// cycles (BW | PC+ST), pseudo-circuit hit with buffer bypassing 1 cycle
+// (PC+ST). Link traversal adds 1 cycle per hop on the unit mesh.
+type Fig6Result struct {
+	Schemes []string
+	// PerHop is the steady-state router delay per hop in cycles, measured
+	// by differencing the latency of two path lengths on an otherwise idle
+	// network with a warmed-up pseudo-circuit path.
+	PerHop []float64
+}
+
+// Fig6 measures per-hop delay with a single periodic single-flit flow along
+// one mesh row: after warmup the flow's crossbar connections are stable, so
+// every hop hits the pseudo-circuit (and the bypass latch when enabled).
+func Fig6(o Options) Fig6Result {
+	o = o.defaults()
+	res := Fig6Result{Schemes: []string{"Baseline", "Pseudo / Pseudo+S", "Pseudo+B / Pseudo+S+B"}}
+	for _, s := range []core.Scheme{core.Baseline, core.Pseudo, core.PseudoB} {
+		res.PerHop = append(res.PerHop, measurePerHop(o, s))
+	}
+	return res
+}
+
+// measurePerHop returns (latency(long) - latency(short)) / extra hops for a
+// lone periodic flow, isolating the per-hop router+link delay, minus the 1
+// cycle of link traversal.
+func measurePerHop(o Options, s core.Scheme) float64 {
+	lat := func(dst int) float64 {
+		e := noc.Experiment{
+			Topology: topology.NewMesh(8, 8),
+			Scheme:   s,
+			Routing:  routing.XY,
+			Policy:   vcalloc.Static,
+			Seed:     o.Seed,
+			Warmup:   400,
+			Measure:  2000,
+		}
+		w := traffic.NewFlows(traffic.Flow{Src: 0, Dst: dst, Size: 1, Period: 25, Start: sim.Cycle(0)})
+		return e.Run(w).AvgNetLatency
+	}
+	// Nodes 2 and 6 sit 2 and 6 hops along row 0.
+	perHopTotal := (lat(6) - lat(2)) / 4
+	return perHopTotal - 1 // subtract link traversal
+}
+
+// Tables renders the figure.
+func (r Fig6Result) Tables() []Table {
+	t := Table{
+		ID:     "fig6",
+		Title:  "Per-hop router delay by pipeline (cycles; paper: 3 / 2 / 1)",
+		Header: []string{"pipeline", "router cycles/hop"},
+	}
+	for i, s := range r.Schemes {
+		t.Rows = append(t.Rows, []string{s, num(r.PerHop[i])})
+	}
+	return []Table{t}
+}

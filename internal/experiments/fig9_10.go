@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// GridResult holds the routing-algorithm × VA-policy sweep behind Fig. 9
+// (network latency reduction) and Fig. 10 (pseudo-circuit reusability):
+// for each benchmark and scheme, all six combinations of {XY, YX, O1TURN}
+// and {static, dynamic} VA. Each combination is normalized against the
+// same combination's no-scheme baseline, isolating the pseudo-circuit
+// gain from the combination's intrinsic performance (see Fig8Result's
+// normalization note).
+type GridResult struct {
+	Benchmarks []string
+	Schemes    []string // Pseudo .. Pseudo+S+B
+	Combos     []string // "staticVA XY", ...
+	// Reduction[b][s][c] and Reuse[b][s][c].
+	Reduction [][][]float64
+	Reuse     [][][]float64
+}
+
+type combo struct {
+	algo routing.Algorithm
+	pol  vcalloc.Policy
+}
+
+var gridCombos = []combo{
+	{routing.XY, vcalloc.Static},
+	{routing.YX, vcalloc.Static},
+	{routing.O1TURN, vcalloc.Static},
+	{routing.XY, vcalloc.Dynamic},
+	{routing.YX, vcalloc.Dynamic},
+	{routing.O1TURN, vcalloc.Dynamic},
+}
+
+func comboLabel(c combo) string {
+	return fmt.Sprintf("%v %v", c.pol, c.algo)
+}
+
+// Fig9And10 runs the full grid (6 combos × 4 schemes per benchmark, plus
+// the baseline reference). It is the most expensive experiment; shrink
+// Options.Benchmarks or Measure for quick runs.
+func Fig9And10(o Options) GridResult {
+	o = o.defaults()
+	res := GridResult{Benchmarks: o.Benchmarks, Schemes: schemeLabels[1:]}
+	for _, c := range gridCombos {
+		res.Combos = append(res.Combos, comboLabel(c))
+	}
+	res.Reduction = make([][][]float64, len(o.Benchmarks))
+	res.Reuse = make([][][]float64, len(o.Benchmarks))
+	// Parallelize over (benchmark, combo) pairs: each pair runs its
+	// baseline plus the four schemes.
+	type cell struct{ bi, ci int }
+	cells := make([]cell, 0, len(o.Benchmarks)*len(gridCombos))
+	for bi := range o.Benchmarks {
+		res.Reduction[bi] = make([][]float64, len(fig8Schemes))
+		res.Reuse[bi] = make([][]float64, len(fig8Schemes))
+		for si := range fig8Schemes {
+			res.Reduction[bi][si] = make([]float64, len(gridCombos))
+			res.Reuse[bi][si] = make([]float64, len(gridCombos))
+		}
+		for ci := range gridCombos {
+			cells = append(cells, cell{bi, ci})
+		}
+	}
+	forEach(len(cells), func(k int) {
+		bi, ci := cells[k].bi, cells[k].ci
+		b, c := o.Benchmarks[bi], gridCombos[ci]
+		base := baseline(o, b, c.algo, c.pol).AvgNetLatency
+		for si, s := range fig8Schemes {
+			r := mustRunCMP(cmpExperiment(o, s, c.algo, c.pol), b)
+			res.Reduction[bi][si][ci] = 1 - r.AvgNetLatency/base
+			res.Reuse[bi][si][ci] = r.Reusability
+		}
+	})
+	return res
+}
+
+// Tables renders one latency-reduction table (Fig. 9) and one reusability
+// table (Fig. 10) per scheme, matching the paper's four sub-figures each.
+func (r GridResult) Tables() []Table {
+	var out []Table
+	for si, s := range r.Schemes {
+		t9 := Table{
+			ID:     fmt.Sprintf("fig9.%d", si+1),
+			Title:  fmt.Sprintf("Network latency reduction, %s", s),
+			Header: append([]string{"benchmark"}, r.Combos...),
+		}
+		t10 := Table{
+			ID:     fmt.Sprintf("fig10.%d", si+1),
+			Title:  fmt.Sprintf("Pseudo-circuit reusability, %s", s),
+			Header: append([]string{"benchmark"}, r.Combos...),
+		}
+		for bi, b := range r.Benchmarks {
+			row9 := []string{b}
+			row10 := []string{b}
+			for ci := range r.Combos {
+				row9 = append(row9, pct(r.Reduction[bi][si][ci]))
+				row10 = append(row10, pct(r.Reuse[bi][si][ci]))
+			}
+			t9.Rows = append(t9.Rows, row9)
+			t10.Rows = append(t10.Rows, row10)
+		}
+		out = append(out, t9, t10)
+	}
+	return out
+}
+
+// AvgOverBenchmarks returns mean latency reduction and reusability per
+// (scheme, combo) — the aggregates tests assert on.
+func (r GridResult) AvgOverBenchmarks() (red, reuse [][]float64) {
+	nb := float64(len(r.Benchmarks))
+	red = make([][]float64, len(r.Schemes))
+	reuse = make([][]float64, len(r.Schemes))
+	for si := range r.Schemes {
+		red[si] = make([]float64, len(r.Combos))
+		reuse[si] = make([]float64, len(r.Combos))
+		for ci := range r.Combos {
+			for bi := range r.Benchmarks {
+				red[si][ci] += r.Reduction[bi][si][ci] / nb
+				reuse[si][ci] += r.Reuse[bi][si][ci] / nb
+			}
+		}
+	}
+	return red, reuse
+}

@@ -1,0 +1,106 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/experiments"
+)
+
+// TestFig12Shape: low-load wins for every scheme, convergence at high load,
+// and the paper's saturation ordering (BP earliest, then BC, then UR).
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep")
+	}
+	r := experiments.Fig12(experiments.Options{Warmup: 300, Measure: 2500})
+	for pi, p := range r.Patterns {
+		// Every pseudo scheme improves at the lowest load.
+		for si := 1; si < len(r.Schemes); si++ {
+			if r.LowLoadImprovement[pi][si] <= 0 {
+				t.Errorf("%s/%s: low-load improvement %.3f not positive",
+					p, r.Schemes[si], r.LowLoadImprovement[pi][si])
+			}
+		}
+		// Latency grows with load for the baseline.
+		lat := r.Latency[pi][0]
+		if lat[len(lat)-1] < lat[0]*1.5 {
+			t.Errorf("%s: baseline did not approach saturation (%.1f -> %.1f)",
+				p, lat[0], lat[len(lat)-1])
+		}
+		// Buffer bypassing beats plain pseudo-circuit at the lowest load.
+		if r.Latency[pi][3][0] >= r.Latency[pi][1][0] {
+			t.Errorf("%s: Pseudo+B %.2f not below Pseudo %.2f at low load",
+				p, r.Latency[pi][3][0], r.Latency[pi][1][0])
+		}
+	}
+}
+
+// TestFig13Shape: every topology gains from the scheme; express topologies
+// beat the mesh; the combination beats either alone.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("topology sweep")
+	}
+	r := experiments.Fig13(experiments.Options{Warmup: 400, Measure: 3000})
+	if r.Topologies[0] != "Mesh" {
+		t.Fatal("mesh must be the reference")
+	}
+	for ti, top := range r.Topologies {
+		base, psb := r.Normalized[ti][0], r.Normalized[ti][4]
+		if psb >= base {
+			t.Errorf("%s: Pseudo+S+B %.3f not below baseline %.3f", top, psb, base)
+		}
+	}
+	// Express topologies cut hops below the mesh.
+	if r.AvgHops[1] >= r.AvgHops[0] || r.AvgHops[3] >= r.AvgHops[1] {
+		t.Errorf("hop ordering broken: %v", r.AvgHops)
+	}
+	// Combination beats the best single technique.
+	bestTopoAlone := r.Normalized[3][0]   // FBFLY baseline
+	bestSchemeAlone := r.Normalized[0][4] // mesh + Pseudo+S+B
+	combo := r.Normalized[3][4]
+	if combo >= bestTopoAlone || combo >= bestSchemeAlone {
+		t.Errorf("combination %.3f not below topology-alone %.3f and scheme-alone %.3f",
+			combo, bestTopoAlone, bestSchemeAlone)
+	}
+}
+
+// TestFig14Shape: EVC helps the mesh, is ~neutral on the CMesh; the
+// pseudo-circuit scheme beats EVC on both (the paper's §7.B conclusion).
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EVC sweep")
+	}
+	o := experiments.Options{Warmup: 400, Measure: 3000,
+		Benchmarks: []string{"fma3d", "blackscholes"}}
+	r := experiments.Fig14(o)
+	meshEVC, meshPSB := r.Avg[0][1], r.Avg[0][2]
+	cmeshEVC, cmeshPSB := r.Avg[1][1], r.Avg[1][2]
+	if meshEVC >= 1 {
+		t.Errorf("EVC did not help the mesh: %.3f", meshEVC)
+	}
+	if cmeshEVC < 0.95 {
+		t.Errorf("EVC unexpectedly strong on the CMesh: %.3f", cmeshEVC)
+	}
+	if meshPSB >= meshEVC || cmeshPSB >= cmeshEVC {
+		t.Errorf("Pseudo+S+B (%.3f/%.3f) not below EVC (%.3f/%.3f)",
+			meshPSB, cmeshPSB, meshEVC, cmeshEVC)
+	}
+}
+
+// TestGridOrderingQuick: the Fig. 9/10 headline — static VA with DOR
+// maximizes reusability — on one benchmark.
+func TestGridOrderingQuick(t *testing.T) {
+	o := experiments.Options{Warmup: 300, Measure: 2500, Benchmarks: []string{"fma3d"}}
+	r := experiments.Fig9And10(o)
+	_, reuse := r.AvgOverBenchmarks()
+	psb := reuse[3] // Pseudo+S+B row: combos in order staticXY..dynO1TURN
+	staticXY, dynXY := psb[0], psb[3]
+	if staticXY <= dynXY {
+		t.Errorf("static VA reuse %.3f not above dynamic %.3f", staticXY, dynXY)
+	}
+	staticO1, _ := psb[2], psb[5]
+	if staticXY <= staticO1 {
+		t.Errorf("DOR reuse %.3f not above O1TURN %.3f under static VA", staticXY, staticO1)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/cmp"
+	"pseudocircuit/internal/energy"
+)
+
+// TableI renders the CMP configuration parameters (paper Table I).
+func TableI() Table {
+	c := cmp.PaperTableI()
+	t := Table{
+		ID:     "table1",
+		Title:  "CMP configuration parameters",
+		Header: []string{"parameter", "value"},
+	}
+	rows := [][2]string{
+		{"# Cores", fmt.Sprintf("%d out-of-order", c.Cores)},
+		{"# L2 Banks", fmt.Sprintf("%d (%d KB/bank)", c.L2Banks, c.L2MB*1024/c.L2Banks)},
+		{"MSHRs per core", fmt.Sprintf("%d", c.MSHRsPerCore)},
+		{"L1 I-Cache", fmt.Sprintf("%d-way %d KB", c.L1IWays, c.L1IKB)},
+		{"L1 D-Cache", fmt.Sprintf("%d-way %d KB", c.L1DWays, c.L1DKB)},
+		{"L1 latency", fmt.Sprintf("%d cycle", c.L1ILatency)},
+		{"Unified L2", fmt.Sprintf("%d-way %d MB shared (S-NUCA)", c.L2Ways, c.L2MB)},
+		{"L2 bank latency", fmt.Sprintf("%d cycles", c.L2BankLatency)},
+		{"Memory latency", fmt.Sprintf("%d cycles", c.MemoryLatency)},
+		{"Cache block", fmt.Sprintf("%d B", c.CacheBlockB)},
+		{"Clock", fmt.Sprintf("%d GHz", c.ClockGHz)},
+		{"Address packet", fmt.Sprintf("%d flit", c.AddrFlits)},
+		{"Data packet", fmt.Sprintf("%d flits", c.DataFlits)},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r[0], r[1]})
+	}
+	return t
+}
+
+// TableII renders the router energy characterization (paper Table II).
+func TableII() Table {
+	p := energy.PaperParams()
+	buf, xbar, arb := p.Shares()
+	t := Table{
+		ID:     "table2",
+		Title:  "Energy consumption characteristics of router components (45 nm)",
+		Header: []string{"component", "energy/event (pJ)", "share"},
+	}
+	t.Rows = [][]string{
+		{"Buffer (write+read)", fmt.Sprintf("%.2f", p.BufferWrite+p.BufferRead), pct(buf)},
+		{"Crossbar", fmt.Sprintf("%.2f", p.Crossbar), pct(xbar)},
+		{"Arbiter", fmt.Sprintf("%.2f", p.Arbiter), pct(arb)},
+	}
+	return t
+}

@@ -1,0 +1,476 @@
+// Package network assembles routers into a complete on-chip network: it
+// wires the topology's port graph, implements the network interfaces (NIs)
+// that packetize, inject, and reassemble messages, carries flits and credits
+// over links with wire-length-proportional latency, and drives the global
+// cycle loop.
+//
+// The simulator is fully deterministic for a given seed, and all
+// cross-router effects are latched with at least one cycle of latency, so
+// routers tick in a fixed order without affecting results.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/energy"
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/router"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// Workload generates the network's traffic. Open-loop (synthetic, trace)
+// workloads only implement Tick; closed-loop workloads (the CMP substrate)
+// also react to deliveries.
+type Workload interface {
+	// Tick is called once per cycle; the workload enqueues new packets via
+	// inj (packets carry their source node in Src).
+	Tick(now sim.Cycle, inj Injector)
+	// Deliver notifies the workload that a packet reached its destination.
+	Deliver(now sim.Cycle, p *flit.Packet)
+	// Done reports that the workload will generate no further packets, so a
+	// run may terminate once the network drains. Open-loop sources return
+	// false.
+	Done() bool
+}
+
+// Injector accepts new packets into source queues.
+type Injector interface {
+	// Inject enqueues p at its source node's NI. The network assigns the
+	// packet ID and timestamps.
+	Inject(p *flit.Packet)
+}
+
+// Node is the router-side interface the network drives; implemented by the
+// standard (pseudo-circuit-capable) router and by the EVC comparison router.
+type Node interface {
+	Tick(now sim.Cycle)
+	Deliver(in int, f *flit.Flit)
+	DeliverCredit(out, vc int)
+	MarkEjection(out int)
+	Quiescent() bool
+	CheckInvariants()
+}
+
+// NodeFactory builds router id with the given radix; rcfg carries the shared
+// router configuration (callbacks, meters). A nil factory builds the
+// standard router.
+type NodeFactory func(id, inPorts, outPorts int, rcfg *router.Config) Node
+
+// Config describes one simulated network.
+type Config struct {
+	Topo      topology.Topology
+	Algorithm routing.Algorithm
+	Policy    vcalloc.Policy
+	StaticKey vcalloc.StaticKey
+	NumVCs    int // per input port (paper: 4)
+	BufDepth  int // flits per VC (paper: 4)
+	Opts      core.Options
+	Seed      uint64
+	// Factory overrides the router implementation (EVC comparison, §7.B).
+	Factory NodeFactory
+	// NIVCLimit restricts injection to VCs [0, NIVCLimit) when positive;
+	// the EVC configuration reserves the upper VCs for express paths.
+	NIVCLimit int
+}
+
+// DefaultConfig returns the paper's network configuration (§5) on the given
+// topology: 4 VCs per input port, 4-flit buffers, XY routing, dynamic VA,
+// baseline router.
+func DefaultConfig(t topology.Topology) Config {
+	return Config{
+		Topo:      t,
+		Algorithm: routing.XY,
+		Policy:    vcalloc.Dynamic,
+		NumVCs:    4,
+		BufDepth:  4,
+		Opts:      core.DefaultOptions(core.Baseline),
+		Seed:      1,
+	}
+}
+
+// upstream identifies what feeds a router input port.
+type upstream struct {
+	router int // -1 when fed by an NI
+	out    int // output port, or node id when router == -1
+}
+
+// delivery is an in-flight flit or credit.
+type delivery struct {
+	flit *flit.Flit
+	// Flit target: router/port, or NI node when router == -1.
+	router, port int
+	// Credit target (when flit == nil): router out-port VC, or NI when
+	// router == -1 (port = node, vc meaningful).
+	vc int
+}
+
+// Network is a runnable simulated network.
+type Network struct {
+	cfg     Config
+	topo    topology.Topology
+	engine  *routing.Engine
+	alloc   *vcalloc.Allocator
+	niAlloc *vcalloc.Allocator
+	routers []Node
+	nis     []*ni
+	ups     [][]upstream // [router][inPort]
+	rcfg    *router.Config
+
+	Stats  *stats.Network
+	Energy *energy.Meter
+
+	now      sim.Cycle
+	ring     [][]delivery // future deliveries, indexed by cycle % len(ring)
+	rng      *sim.RNG
+	nextID   uint64
+	inFlight int // packets injected but not yet fully ejected
+
+	// CheckInvariants enables per-cycle router invariant checking (tests).
+	CheckInvariants bool
+}
+
+// New builds a network from cfg.
+func New(cfg Config) *Network {
+	if cfg.NumVCs <= 0 || cfg.BufDepth <= 0 {
+		panic("network: NumVCs and BufDepth must be positive")
+	}
+	t := cfg.Topo
+	engine := routing.New(cfg.Algorithm, t)
+	alloc := vcalloc.New(cfg.Policy, cfg.NumVCs, engine.NumClasses(), t.Nodes()).
+		WithStaticKey(cfg.StaticKey)
+	niAlloc := alloc
+	if cfg.NIVCLimit > 0 {
+		if engine.NumClasses() != 1 {
+			panic("network: NIVCLimit requires a single-class routing algorithm")
+		}
+		niAlloc = vcalloc.New(cfg.Policy, cfg.NIVCLimit, 1, t.Nodes()).
+			WithStaticKey(cfg.StaticKey)
+	}
+
+	n := &Network{
+		cfg:     cfg,
+		topo:    t,
+		engine:  engine,
+		alloc:   alloc,
+		niAlloc: niAlloc,
+		Stats:   &stats.Network{},
+		Energy:  energy.NewMeter(),
+		rng:     sim.NewRNG(cfg.Seed),
+	}
+
+	// Ring sized for the largest link latency plus slack.
+	maxLat := 1
+	for r := 0; r < t.Routers(); r++ {
+		for o := 0; o < t.OutPorts(r); o++ {
+			for d := 0; d < t.Nodes(); d++ {
+				if !reachable(t, r, o, d) {
+					continue
+				}
+				if h := t.NextHop(r, o, d); h.Latency > maxLat {
+					maxLat = h.Latency
+				}
+			}
+		}
+	}
+	n.ring = make([][]delivery, maxLat+3)
+
+	n.rcfg = &router.Config{
+		NumVCs:   cfg.NumVCs,
+		BufDepth: cfg.BufDepth,
+		Opts:     cfg.Opts,
+		Alloc:    alloc,
+		Energy:   n.Energy,
+		Stats:    n.Stats,
+		Send:     n.sendFlit,
+		Credit:   n.sendCredit,
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		factory = func(id, in, out int, rcfg *router.Config) Node {
+			return router.New(id, in, out, rcfg)
+		}
+	}
+	n.routers = make([]Node, t.Routers())
+	for r := range n.routers {
+		n.routers[r] = factory(r, t.InPorts(r), t.OutPorts(r), n.rcfg)
+	}
+	n.nis = make([]*ni, t.Nodes())
+	n.ups = make([][]upstream, t.Routers())
+	for r := range n.ups {
+		n.ups[r] = make([]upstream, t.InPorts(r))
+		for i := range n.ups[r] {
+			n.ups[r][i] = upstream{router: -2}
+		}
+	}
+	// Wire router-to-router upstream links.
+	for r := 0; r < t.Routers(); r++ {
+		for o := 0; o < t.OutPorts(r); o++ {
+			for d := 0; d < t.Nodes(); d++ {
+				if !reachable(t, r, o, d) {
+					continue
+				}
+				h := t.NextHop(r, o, d)
+				if h.Router < 0 {
+					continue
+				}
+				u := upstream{router: r, out: o}
+				cur := n.ups[h.Router][h.InPort]
+				if cur.router != -2 && cur != u {
+					panic(fmt.Sprintf("network: input port %d of router %d fed by two outputs", h.InPort, h.Router))
+				}
+				n.ups[h.Router][h.InPort] = u
+			}
+		}
+	}
+	// Wire terminals.
+	for node := 0; node < t.Nodes(); node++ {
+		r, inP, outP := t.NodeRouter(node)
+		n.routers[r].MarkEjection(outP)
+		n.ups[r][inP] = upstream{router: -1, out: node}
+		n.nis[node] = newNI(n, node, r, inP)
+	}
+	return n
+}
+
+// reachable reports whether output port o at router r is a meaningful exit
+// toward destination d — i.e. the port dimension-order routing could use.
+// It is used only during wiring/sizing to avoid asking NextHop nonsense
+// questions on multidrop topologies.
+func reachable(t topology.Topology, r, o, d int) bool {
+	for class := 0; class < 2; class++ {
+		rt := t.Route(r, d, class)
+		if rt == o {
+			return true
+		}
+		// Also walk one step further for the turn port: from the drop/turn
+		// router the other dimension's port matters; wiring only needs
+		// every (router, port) pair to be exercised by some destination,
+		// which Route over all (r, d, class) provides.
+	}
+	return false
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() sim.Cycle { return n.now }
+
+// Nodes returns the terminal count.
+func (n *Network) Nodes() int { return n.topo.Nodes() }
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// InFlight returns the number of injected-but-undelivered packets.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Inject implements Injector: it enqueues p at its source NI.
+func (n *Network) Inject(p *flit.Packet) {
+	if p.Src < 0 || p.Src >= len(n.nis) || p.Dst < 0 || p.Dst >= len(n.nis) {
+		panic(fmt.Sprintf("network: packet %d->%d out of range", p.Src, p.Dst))
+	}
+	if p.Src == p.Dst {
+		panic("network: self-addressed packet")
+	}
+	if p.Size <= 0 {
+		panic("network: packet size must be positive")
+	}
+	p.ID = n.nextID
+	n.nextID++
+	p.Injected = n.now
+	n.nis[p.Src].enqueue(p)
+	n.inFlight++
+	n.Stats.PacketsInjected++
+}
+
+// sendFlit is the router Send callback: resolve the hop, set lookahead
+// routing for the next router, and schedule delivery. A flit switched
+// during cycle t spends h.Latency cycles in link traversal (LT) and is
+// processed by the next hop at t + h.Latency + 1, so LT is a real pipeline
+// stage (paper Fig. 6: ... | ST | LT |).
+func (n *Network) sendFlit(id, out int, f *flit.Flit) {
+	h := n.topo.NextHop(id, out, f.Packet.Dst)
+	if h.Router < 0 {
+		f.NextOut = -1
+		n.schedule(h.Latency+1, delivery{flit: f, router: -1, port: h.InPort})
+		return
+	}
+	f.NextOut = n.engine.Route(h.Router, f.Packet.Dst, f.RouteClass)
+	n.schedule(h.Latency+1, delivery{flit: f, router: h.Router, port: h.InPort})
+}
+
+// sendCredit is the router Credit callback: return a credit to whatever
+// feeds (id, in), with one cycle latency.
+func (n *Network) sendCredit(id, in, vc int) {
+	u := n.ups[id][in]
+	switch u.router {
+	case -2:
+		panic(fmt.Sprintf("network: credit from unwired input port %d of router %d", in, id))
+	case -1:
+		n.schedule(1, delivery{router: -1, port: u.out, vc: vc})
+	default:
+		n.schedule(1, delivery{router: u.router, port: u.out, vc: vc})
+	}
+}
+
+func (n *Network) schedule(latency int, d delivery) {
+	if latency < 1 || latency >= len(n.ring) {
+		panic(fmt.Sprintf("network: link latency %d outside ring", latency))
+	}
+	slot := (int(n.now) + latency) % len(n.ring)
+	n.ring[slot] = append(n.ring[slot], d)
+}
+
+// Step advances the simulation one cycle.
+func (n *Network) Step(w Workload) {
+	// 1. Deliver flits and credits due now.
+	slot := int(n.now) % len(n.ring)
+	due := n.ring[slot]
+	n.ring[slot] = nil
+	for _, d := range due {
+		switch {
+		case d.flit != nil && d.router >= 0:
+			n.routers[d.router].Deliver(d.port, d.flit)
+		case d.flit != nil:
+			n.nis[d.port].receive(n.now, d.flit, w)
+		case d.router >= 0:
+			n.routers[d.router].DeliverCredit(d.port, d.vc)
+		default:
+			n.nis[d.port].credit(d.vc)
+		}
+	}
+	// 2. Workload generates traffic; NIs inject (one flit per node per
+	// cycle).
+	if w != nil {
+		w.Tick(n.now, n)
+	}
+	for _, s := range n.nis {
+		s.inject(n.now)
+	}
+	// 3. Routers tick.
+	for _, r := range n.routers {
+		r.Tick(n.now)
+		if n.CheckInvariants {
+			r.CheckInvariants()
+		}
+	}
+	n.now++
+	n.Stats.MeasuredTo = n.now
+}
+
+// Run advances the simulation for cycles cycles.
+func (n *Network) Run(w Workload, cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step(w)
+	}
+}
+
+// ResetStats begins the measurement phase: statistics and energy counters
+// are cleared; packets injected before this instant no longer count toward
+// latency averages.
+func (n *Network) ResetStats() {
+	n.Stats.Reset(n.now)
+	n.Energy.Writes, n.Energy.Reads, n.Energy.Traversals, n.Energy.Arbitrations = 0, 0, 0, 0
+}
+
+// Drain runs until the workload is done and no packets remain in flight, up
+// to maxCycles. It returns true if the network drained.
+func (n *Network) Drain(w Workload, maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if (w == nil || w.Done()) && n.inFlight == 0 {
+			return true
+		}
+		n.Step(w)
+	}
+	return (w == nil || w.Done()) && n.inFlight == 0
+}
+
+// Quiescent reports whether all routers and NIs are empty.
+func (n *Network) Quiescent() bool {
+	if n.inFlight != 0 {
+		return false
+	}
+	for _, r := range n.routers {
+		if !r.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// RNG exposes the network's deterministic random stream (workloads derive
+// sub-streams from it).
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Router returns node r (testing hook); for standard networks it is a
+// *router.Router.
+func (n *Network) Router(r int) Node { return n.routers[r] }
+
+// LinkLoad reports one output channel's traffic over the simulation so far.
+type LinkLoad struct {
+	Router      int
+	Out         int
+	Flits       uint64
+	Utilization float64 // flits per cycle on this channel
+	Ejection    bool
+}
+
+// LinkLoads returns per-channel utilization, most loaded first — a
+// diagnostic for spotting hotspots and routing imbalance (e.g. specjbb's
+// over-utilized home banks, paper §6.A). Router implementations without
+// per-port counters (the EVC comparison router) are skipped.
+func (n *Network) LinkLoads() []LinkLoad {
+	type sender interface{ OutputSends() []uint64 }
+	var out []LinkLoad
+	for rid, node := range n.routers {
+		s, ok := node.(sender)
+		if !ok {
+			continue
+		}
+		for o, flits := range s.OutputSends() {
+			if flits == 0 {
+				continue
+			}
+			ll := LinkLoad{Router: rid, Out: o, Flits: flits}
+			if n.now > 0 {
+				ll.Utilization = float64(flits) / float64(n.now)
+			}
+			ll.Ejection = isEjectionPort(n.topo, rid, o)
+			out = append(out, ll)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flits > out[j].Flits })
+	return out
+}
+
+// isEjectionPort reports whether output o of router r is a terminal port.
+func isEjectionPort(t topology.Topology, r, o int) bool {
+	for slot := 0; slot < t.Concentration(); slot++ {
+		node := r*t.Concentration() + slot
+		if node >= t.Nodes() {
+			break
+		}
+		rr, _, outP := t.NodeRouter(node)
+		if rr == r && outP == o {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedPackets returns the number of packets waiting in source queues
+// (testing/diagnostics hook).
+func (n *Network) QueuedPackets() int {
+	q := 0
+	for _, s := range n.nis {
+		q += len(s.queue)
+		if s.cur != nil {
+			q++
+		}
+	}
+	return q
+}

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/sim"
+)
+
+// ni is a network interface: the per-terminal endpoint that queues packets,
+// splits them into flits, injects at link bandwidth (one flit per cycle)
+// under credit flow control, and reassembles arriving flits into packets
+// (paper §3.A).
+type ni struct {
+	net    *Network
+	node   int
+	router int
+	inPort int
+
+	queue []*flit.Packet
+	cur   []*flit.Flit // flits of the packet being injected
+	idx   int
+	class int // routing class of the current packet
+	outVC int // VC allocated for the current packet, -1 while VA pending
+
+	busy    []bool // our view of router input VC occupancy
+	credits []int
+
+	rng     *sim.RNG
+	lastDst int // previous packet's destination (Fig. 1 end-to-end locality)
+
+	rx map[uint64]int // packet ID -> flits received so far
+}
+
+func newNI(n *Network, node, r, inPort int) *ni {
+	s := &ni{
+		net:     n,
+		node:    node,
+		router:  r,
+		inPort:  inPort,
+		outVC:   -1,
+		busy:    make([]bool, n.cfg.NumVCs),
+		credits: make([]int, n.cfg.NumVCs),
+		rng:     n.rng.Split(),
+		lastDst: -1,
+		rx:      make(map[uint64]int),
+	}
+	for v := range s.credits {
+		s.credits[v] = n.cfg.BufDepth
+	}
+	return s
+}
+
+// enqueue adds a packet to the source queue and records end-to-end temporal
+// locality (Fig. 1): whether this packet repeats the previous packet's
+// source-destination pair.
+func (s *ni) enqueue(p *flit.Packet) {
+	if s.lastDst >= 0 {
+		s.net.Stats.E2EPrev++
+		if s.lastDst == p.Dst {
+			s.net.Stats.E2ESame++
+		}
+	}
+	s.lastDst = p.Dst
+	s.queue = append(s.queue, p)
+}
+
+// inject advances the injection state machine by one cycle: start the next
+// packet if idle, allocate a VC, and send at most one flit.
+func (s *ni) inject(now sim.Cycle) {
+	if s.cur == nil {
+		if len(s.queue) == 0 {
+			return
+		}
+		p := s.queue[0]
+		s.queue = s.queue[:copy(s.queue, s.queue[1:])]
+		s.cur = flit.Split(p)
+		s.idx = 0
+		s.class = s.net.engine.ClassFor(s.rng)
+		s.outVC = -1
+	}
+	p := s.cur[0].Packet
+	if s.outVC < 0 {
+		v := s.net.niAlloc.Pick(p.Src, p.Dst, s.class, s.busy, s.credits)
+		if v < 0 {
+			return // all candidate VCs busy; retry next cycle
+		}
+		s.outVC = v
+		s.busy[v] = true
+	}
+	if s.credits[s.outVC] <= 0 {
+		return // downstream input VC full; wait for credit
+	}
+	f := s.cur[s.idx]
+	f.VC = s.outVC
+	f.RouteClass = s.class
+	f.NextOut = s.net.engine.Route(s.router, p.Dst, s.class)
+	f.InjectedAt = now
+	f.EnteredNet = now
+	if f.Kind.IsHead() {
+		p.NetStart = now
+	}
+	s.credits[s.outVC]--
+	s.net.schedule(1, delivery{flit: f, router: s.router, port: s.inPort})
+	s.idx++
+	if s.idx == len(s.cur) {
+		s.busy[s.outVC] = false // tail injected; VC reusable by the next packet
+		s.cur = nil
+		s.outVC = -1
+	}
+}
+
+// credit returns one buffer slot for VC vc at the router input port this NI
+// feeds.
+func (s *ni) credit(vc int) {
+	s.credits[vc]++
+	if s.credits[vc] > s.net.cfg.BufDepth {
+		panic(fmt.Sprintf("ni %d: credit overflow on vc %d", s.node, vc))
+	}
+}
+
+// receive accepts an ejected flit, reassembling packets and recording
+// delivery statistics when the last flit arrives.
+func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
+	p := f.Packet
+	if p.Dst != s.node {
+		panic(fmt.Sprintf("ni %d: misdelivered flit %v", s.node, f))
+	}
+	s.rx[p.ID]++
+	if s.rx[p.ID] < p.Size {
+		return
+	}
+	if s.rx[p.ID] > p.Size {
+		panic(fmt.Sprintf("ni %d: duplicate flits for packet %d", s.node, p.ID))
+	}
+	delete(s.rx, p.ID)
+	s.net.inFlight--
+	measured := p.Injected >= s.net.Stats.MeasuredFrom
+	s.net.Stats.RecordDelivery(now-p.Injected, now-p.NetStart, p.Size, p.Hops, measured)
+	if w != nil {
+		w.Deliver(now, p)
+	}
+}

@@ -1,0 +1,777 @@
+// Package router implements the cycle-accurate pipelined virtual-channel
+// router the paper builds on (§3.A, Peh & Dally's speculative router) and
+// integrates the pseudo-circuit datapath from internal/core.
+//
+// Pipeline (paper Fig. 6; one stage per cycle, LT handled by the network):
+//
+//	baseline flit:            BW | VA+SA (speculative, retried) | ST | LT
+//	pseudo-circuit hit:       BW | PC-compare + ST              | LT
+//	hit with buffer bypass:   PC-compare + ST                   | LT
+//
+// Within a simulated cycle the router processes, in order:
+//
+//  1. ST for switch-arbitration grants issued last cycle.
+//  2. Head-of-VC bookkeeping and VC allocation (VA), performed independently
+//     of SA so pseudo-circuit flits can traverse while VA proceeds (§3.B).
+//  3. Classification of head flits into pseudo-circuit candidates and SA
+//     requests; pseudo-circuit traversal (PC + ST) for candidates no SA
+//     request conflicts with (starvation freedom, §3.C).
+//  4. Switch arbitration (separable, round-robin, credit-gated); grants
+//     reserve the crossbar for next cycle, terminate conflicting
+//     pseudo-circuits, and cost arbiter energy.
+//  5. Pseudo-circuit maintenance: credit-exhaustion termination (§3.C) and
+//     speculation (§4.A).
+//  6. Arrivals: buffer write, or buffer bypass + ST when a connected
+//     pseudo-circuit matches and the VC buffer is empty (§4.B).
+//
+// All cross-router communication (flits, credits) is mediated by callbacks
+// with at least one cycle of latency, so routers may tick in any order.
+package router
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/energy"
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// SendFunc delivers a flit leaving output port out of router id; the network
+// resolves the link, performs lookahead routing, and schedules the arrival.
+type SendFunc func(id, out int, f *flit.Flit)
+
+// CreditFunc returns one credit for (input port in, VC vc) of router id to
+// whatever feeds that port (upstream router or NI), with one cycle latency.
+type CreditFunc func(id, in, vc int)
+
+// Config carries the parameters shared by every router in a network.
+type Config struct {
+	NumVCs   int
+	BufDepth int
+	Opts     core.Options
+	Alloc    *vcalloc.Allocator
+	Energy   *energy.Meter
+	Stats    *stats.Network
+	Send     SendFunc
+	Credit   CreditFunc
+}
+
+// vcState tracks the packet currently owning an input VC (wormhole: one
+// packet drains at a time; the FIFO buffer may hold flits of queued
+// successors).
+type vcState struct {
+	buf     []*flit.Flit
+	at      []sim.Cycle // arrival cycle of each buffered flit (BW takes one cycle)
+	active  bool        // a packet's header has been admitted and its tail has not traversed
+	outPort int
+	outVC   int // -1 until VA succeeds
+	class   int
+	src     int
+	dst     int
+}
+
+func (v *vcState) reset() {
+	v.active = false
+	v.outPort = -1
+	v.outVC = -1
+}
+
+type inputPort struct {
+	vcs []*vcState
+	pc  core.Register
+	// hist backs speculation: the input's most recent connections
+	// (depth 1 = the paper's register pair; SpecHistoryDepth extends it).
+	hist core.InputHistory
+	// arrival staged by Deliver for processing at the end of this cycle.
+	arrival *flit.Flit
+	// rrVC is the round-robin pointer for SA input arbitration.
+	rrVC int
+	// lastOut tracks the previous crossbar connection through this port for
+	// the Fig. 1 temporal-locality measurement (independent of scheme).
+	lastOut int
+}
+
+type outputPort struct {
+	credits  []int
+	vcBusy   []bool
+	hist     core.History
+	rrIn     int // round-robin pointer for SA output arbitration
+	ejection bool
+}
+
+func (o *outputPort) hasCredit(vc int) bool {
+	return o.ejection || o.credits[vc] > 0
+}
+
+func (o *outputPort) anyCredit() bool {
+	if o.ejection {
+		return true
+	}
+	for _, c := range o.credits {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reservation is a switch-arbitration grant: flit at (in, vc) traverses to
+// out next cycle.
+type reservation struct {
+	in, vc, out int
+	f           *flit.Flit
+}
+
+type saRequest struct {
+	in, vc, out int
+}
+
+// Router is one pipelined router instance.
+type Router struct {
+	ID  int
+	cfg *Config
+
+	in  []*inputPort
+	out []*outputPort
+
+	res     []reservation // STs to execute this cycle
+	nextRes []reservation // grants made this cycle
+
+	// Per-tick scratch, reused across cycles.
+	busyIn  []bool
+	busyOut []bool
+	reqs    []saRequest
+	chosen  []int // per input port: index into reqs selected by input arbitration, -1 none
+	pcCand  []int // per input port: vc of pseudo-circuit candidate, -1 none
+
+	// outSends counts flits per output port over the router's lifetime
+	// (link-utilization diagnostics).
+	outSends []uint64
+}
+
+// New constructs a router with the given input and output radix. Ejection
+// output ports (terminal side) must be marked afterwards with MarkEjection.
+func New(id, inPorts, outPorts int, cfg *Config) *Router {
+	if cfg.NumVCs < 1 || cfg.BufDepth < 1 {
+		panic("router: NumVCs and BufDepth must be positive")
+	}
+	if err := cfg.Opts.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Router{
+		ID:       id,
+		cfg:      cfg,
+		in:       make([]*inputPort, inPorts),
+		out:      make([]*outputPort, outPorts),
+		busyIn:   make([]bool, inPorts),
+		busyOut:  make([]bool, outPorts),
+		chosen:   make([]int, inPorts),
+		pcCand:   make([]int, inPorts),
+		outSends: make([]uint64, outPorts),
+	}
+	for i := range r.in {
+		p := &inputPort{
+			vcs:     make([]*vcState, cfg.NumVCs),
+			pc:      core.NewRegister(),
+			hist:    core.NewInputHistory(cfg.Opts.SpecHistoryDepth),
+			lastOut: -1,
+		}
+		for v := range p.vcs {
+			p.vcs[v] = &vcState{outPort: -1, outVC: -1}
+		}
+		r.in[i] = p
+	}
+	for o := range r.out {
+		p := &outputPort{
+			credits: make([]int, cfg.NumVCs),
+			vcBusy:  make([]bool, cfg.NumVCs),
+			hist:    core.NewHistory(),
+		}
+		for v := range p.credits {
+			p.credits[v] = cfg.BufDepth
+		}
+		r.out[o] = p
+	}
+	return r
+}
+
+// MarkEjection flags output port out as a terminal (ejection) port: VC state
+// and credits are unconstrained because the receiver NI sinks flits at link
+// rate.
+func (r *Router) MarkEjection(out int) { r.out[out].ejection = true }
+
+// Deliver stages a flit arriving on input port in this cycle. The network
+// calls it before Tick; at most one flit per input port per cycle (link
+// bandwidth).
+func (r *Router) Deliver(in int, f *flit.Flit) {
+	if r.in[in].arrival != nil {
+		panic(fmt.Sprintf("router %d: two flits on input port %d in one cycle", r.ID, in))
+	}
+	r.in[in].arrival = f
+}
+
+// DeliverCredit returns one credit for (output port out, VC vc); the network
+// calls it when the downstream hop frees a buffer slot.
+func (r *Router) DeliverCredit(out, vc int) {
+	o := r.out[out]
+	o.credits[vc]++
+	if o.credits[vc] > r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow on out %d vc %d", r.ID, out, vc))
+	}
+}
+
+// Tick advances the router by one cycle.
+func (r *Router) Tick(now sim.Cycle) {
+	r.executeReservations(now)
+	r.admitHeads()
+	r.allocateVCs(now)
+	r.classify(now)
+	r.pcTraversals(now)
+	r.switchArbitrate(now)
+	r.maintainPseudoCircuits()
+	r.processArrivals(now)
+	r.res, r.nextRes = r.nextRes, r.res[:0]
+}
+
+// executeReservations performs ST for last cycle's SA grants (phase 1) and
+// computes this cycle's crossbar busy sets.
+func (r *Router) executeReservations(now sim.Cycle) {
+	for i := range r.busyIn {
+		r.busyIn[i] = false
+	}
+	for o := range r.busyOut {
+		r.busyOut[o] = false
+	}
+	for _, res := range r.res {
+		in := r.in[res.in]
+		vs := in.vcs[res.vc]
+		// Speculative SA: a grant issued in parallel with a failed VA is
+		// void (paper §3.A); the flit retries.
+		if vs.outVC < 0 {
+			continue
+		}
+		// Credits may have been drained by a pseudo-circuit traversal after
+		// the request was credit-checked; re-verify and retry on failure.
+		if !r.out[res.out].hasCredit(vs.outVC) {
+			continue
+		}
+		if len(vs.buf) == 0 || vs.buf[0] != res.f {
+			panic(fmt.Sprintf("router %d: reservation lost its flit at in %d vc %d", r.ID, res.in, res.vc))
+		}
+		r.popBuffer(in, res.vc)
+		r.traverse(now, res.in, res.vc, res.out, res.f, false, false)
+		r.busyIn[res.in] = true
+		r.busyOut[res.out] = true
+	}
+}
+
+// admitHeads activates the packet whose header flit has reached the head of
+// an idle VC, latching its lookahead route (phase 2a).
+func (r *Router) admitHeads() {
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			if vs.active || len(vs.buf) == 0 {
+				continue
+			}
+			h := vs.buf[0]
+			if !h.Kind.IsHead() {
+				panic(fmt.Sprintf("router %d: non-head flit %v at head of idle VC", r.ID, h))
+			}
+			r.admit(vs, h)
+		}
+	}
+}
+
+func (r *Router) admit(vs *vcState, h *flit.Flit) {
+	vs.active = true
+	vs.outPort = h.NextOut
+	vs.outVC = -1
+	vs.class = h.RouteClass
+	vs.src = h.Packet.Src
+	vs.dst = h.Packet.Dst
+	if vs.outPort < 0 || vs.outPort >= len(r.out) {
+		panic(fmt.Sprintf("router %d: header %v carries invalid output port %d", r.ID, h, vs.outPort))
+	}
+}
+
+// allocateVCs performs VA for admitted packets without an output VC
+// (phase 2b). VA is independent of SA, so it proceeds for pseudo-circuit
+// flits too. Inputs are scanned from a rotating offset for fairness.
+func (r *Router) allocateVCs(now sim.Cycle) {
+	n := len(r.in)
+	start := int(now) % n
+	for k := 0; k < n; k++ {
+		in := r.in[(start+k)%n]
+		for _, vs := range in.vcs {
+			if !vs.active || vs.outVC >= 0 || len(vs.buf) == 0 {
+				continue
+			}
+			if !vs.buf[0].Kind.IsHead() {
+				continue // header already traversed; body flits keep the VC
+			}
+			r.tryVA(vs)
+		}
+	}
+}
+
+// tryVA attempts VC allocation for the packet owning vs; it returns true on
+// success.
+func (r *Router) tryVA(vs *vcState) bool {
+	o := r.out[vs.outPort]
+	var v int
+	if o.ejection {
+		// The receiver NI drains every VC; allocate within the class.
+		lo, _ := r.cfg.Alloc.ClassRange(vs.class)
+		v = lo
+	} else {
+		v = r.cfg.Alloc.Pick(vs.src, vs.dst, vs.class, o.vcBusy, o.credits)
+		if v < 0 {
+			return false
+		}
+		o.vcBusy[v] = true
+	}
+	vs.outVC = v
+	return true
+}
+
+// classify splits eligible head flits into pseudo-circuit candidates and SA
+// requests (phase 3a). A flit is eligible once it has spent a full cycle in
+// the buffer (BW stage).
+func (r *Router) classify(now sim.Cycle) {
+	r.reqs = r.reqs[:0]
+	for i, in := range r.in {
+		r.pcCand[i] = -1
+		for v, vs := range in.vcs {
+			if !vs.active || len(vs.buf) == 0 {
+				continue
+			}
+			if in.vcs[v].at[0] >= now {
+				continue // still in BW this cycle
+			}
+			if vs.outVC < 0 {
+				// Header whose VA failed: issue a speculative SA request
+				// anyway (grant will be void), modelling the speculative
+				// pipeline's wasted grants.
+				r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+				continue
+			}
+			o := r.out[vs.outPort]
+			if !o.hasCredit(vs.outVC) {
+				continue // credit-gated: no request without credit
+			}
+			// A flit matching the input port's connected pseudo-circuit
+			// rides it instead of re-arbitrating, even if the crossbar port
+			// is occupied this cycle (back-to-back streaming: it traverses
+			// next cycle, still without SA).
+			if r.cfg.Opts.Pseudo && in.pc.Match(v, vs.outPort) && r.pcCand[i] < 0 {
+				r.pcCand[i] = v
+				continue
+			}
+			r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+		}
+	}
+}
+
+// pcTraversals performs PC-compare + ST for pseudo-circuit candidates
+// (phase 3b). With the paper's starvation-free policy a candidate defers to
+// any SA request claiming either of its ports.
+func (r *Router) pcTraversals(now sim.Cycle) {
+	for i, in := range r.in {
+		v := r.pcCand[i]
+		if v < 0 {
+			continue
+		}
+		vs := in.vcs[v]
+		if r.busyIn[i] || r.busyOut[vs.outPort] {
+			continue // crossbar port in use this cycle; ride the circuit next cycle
+		}
+		if r.cfg.Opts.PCDefersToSA && r.saClaims(i, vs.outPort) {
+			continue
+		}
+		f := vs.buf[0]
+		out := vs.outPort
+		r.popBuffer(in, v)
+		r.traverse(now, i, v, out, f, true, false)
+		r.busyIn[i] = true
+		r.busyOut[out] = true
+	}
+}
+
+// saClaims reports whether any SA request this cycle claims input port in or
+// output port out.
+func (r *Router) saClaims(in, out int) bool {
+	for _, q := range r.reqs {
+		if q.in == in || q.out == out {
+			return true
+		}
+	}
+	return false
+}
+
+// switchArbitrate runs the separable round-robin switch allocator
+// (phase 4): one request per input port, then one input per output port.
+// Grants reserve the crossbar for next cycle and terminate conflicting
+// pseudo-circuits.
+func (r *Router) switchArbitrate(now sim.Cycle) {
+	// Input arbitration: choose one requesting VC per input port.
+	for i := range r.chosen {
+		r.chosen[i] = -1
+	}
+	for qi, q := range r.reqs {
+		ip := r.in[q.in]
+		if r.chosen[q.in] < 0 {
+			r.chosen[q.in] = qi
+			continue
+		}
+		// Round-robin preference: smallest (vc - rrVC) mod V wins.
+		cur := r.reqs[r.chosen[q.in]]
+		if rrDist(q.vc, ip.rrVC, r.cfg.NumVCs) < rrDist(cur.vc, ip.rrVC, r.cfg.NumVCs) {
+			r.chosen[q.in] = qi
+		}
+	}
+	// Output arbitration among the per-input winners.
+	for o, op := range r.out {
+		best := -1
+		for i := range r.in {
+			qi := r.chosen[i]
+			if qi < 0 || r.reqs[qi].out != o {
+				continue
+			}
+			if best < 0 || rrDist(i, op.rrIn, len(r.in)) < rrDist(best, op.rrIn, len(r.in)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		q := r.reqs[r.chosen[best]]
+		vs := r.in[q.in].vcs[q.vc]
+		r.grant(q, vs)
+	}
+	_ = now
+}
+
+func (r *Router) grant(q saRequest, vs *vcState) {
+	r.cfg.Energy.AddArbitration()
+	r.cfg.Stats.SAGrants++
+	r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: vs.buf[0]})
+	r.in[q.in].rrVC = (q.vc + 1) % r.cfg.NumVCs
+	r.out[q.out].rrIn = (q.in + 1) % len(r.in)
+	if r.cfg.Opts.Pseudo {
+		// The new connection claims its ports: terminate conflicting
+		// pseudo-circuits (§3.C condition 1).
+		for i, in := range r.in {
+			if in.pc.Valid && (i == q.in || in.pc.OutPort == q.out) {
+				in.pc.Terminate()
+				r.cfg.Stats.PCTerminated++
+			}
+		}
+	}
+}
+
+// rrDist is the round-robin distance from pointer ptr to index x modulo n.
+func rrDist(x, ptr, n int) int { return ((x-ptr)%n + n) % n }
+
+// maintainPseudoCircuits terminates circuits whose output ran out of credit
+// (§3.C condition 2) and speculatively revives circuits on idle outputs
+// (§4.A) — phase 5.
+func (r *Router) maintainPseudoCircuits() {
+	if !r.cfg.Opts.Pseudo {
+		return
+	}
+	if r.cfg.Opts.TerminateOnZeroCredit {
+		for _, in := range r.in {
+			if !in.pc.Valid {
+				continue
+			}
+			if !r.pcHasCredit(in) {
+				in.pc.Terminate()
+				r.cfg.Stats.PCTerminated++
+			}
+		}
+	}
+	if !r.cfg.Opts.Speculation {
+		return
+	}
+	for o, op := range r.out {
+		if !op.hist.Valid || r.outputHasPC(o) || r.outputReserved(o) {
+			continue
+		}
+		if !op.anyCredit() && !r.cfg.Opts.SpeculateToCongested {
+			continue
+		}
+		in := r.in[op.hist.InPort]
+		if in.pc.Valid {
+			continue
+		}
+		vc, ok := in.hist.Lookup(o)
+		if !ok {
+			continue
+		}
+		in.pc.SetSpeculative(vc, o)
+		r.cfg.Stats.PCSpeculated++
+	}
+}
+
+// pcHasCredit reports whether the pseudo-circuit's output port is congested
+// (§3.C condition 2: "congestion at the downstream router on the output
+// port"). Congestion is a port-level condition — no credit left in any VC;
+// transient per-VC credit exhaustion inside a streaming packet does not
+// terminate the circuit, because per-flit safety is already enforced by the
+// credit check every traversal performs.
+func (r *Router) pcHasCredit(in *inputPort) bool {
+	return r.out[in.pc.OutPort].anyCredit()
+}
+
+func (r *Router) outputHasPC(out int) bool {
+	for _, in := range r.in {
+		if in.pc.Valid && in.pc.OutPort == out {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) outputReserved(out int) bool {
+	for _, res := range r.nextRes {
+		if res.out == out {
+			return true
+		}
+	}
+	return false
+}
+
+// processArrivals handles flits delivered this cycle: buffer bypass when a
+// connected pseudo-circuit matches (§4.B), buffer write otherwise
+// (phase 6).
+func (r *Router) processArrivals(now sim.Cycle) {
+	for i, in := range r.in {
+		f := in.arrival
+		if f == nil {
+			continue
+		}
+		in.arrival = nil
+		if r.tryBypass(now, i, f) {
+			continue
+		}
+		vs := in.vcs[f.VC]
+		if len(vs.buf) >= r.cfg.BufDepth {
+			panic(fmt.Sprintf("router %d: buffer overflow at in %d vc %d (credit protocol violated)", r.ID, i, f.VC))
+		}
+		vs.buf = append(vs.buf, f)
+		vs.at = append(vs.at, now)
+		r.cfg.Energy.AddWrite()
+	}
+}
+
+// tryBypass attempts buffer bypassing for an arriving flit; on success the
+// flit traverses the crossbar this cycle (PC + ST), saving the BW stage.
+func (r *Router) tryBypass(now sim.Cycle, i int, f *flit.Flit) bool {
+	if !r.cfg.Opts.BufferBypass {
+		return false
+	}
+	in := r.in[i]
+	vs := in.vcs[f.VC]
+	if len(vs.buf) != 0 || r.busyIn[i] {
+		return false
+	}
+	if f.Kind.IsHead() {
+		if vs.active {
+			return false // previous packet's tail still in flight upstream of us
+		}
+		if !in.pc.Match(f.VC, f.NextOut) || r.busyOut[f.NextOut] {
+			return false
+		}
+		// VA in parallel with the bypass (§4.B: "VA is performed only for
+		// header flits and it needs the output port numbers only").
+		r.admit(vs, f)
+		if !r.tryVA(vs) {
+			vs.reset()
+			return false
+		}
+	} else {
+		if !vs.active || vs.outVC < 0 {
+			panic(fmt.Sprintf("router %d: body flit %v arrived on idle VC", r.ID, f))
+		}
+		if !in.pc.Match(f.VC, vs.outPort) || r.busyOut[vs.outPort] {
+			return false
+		}
+	}
+	if !r.out[vs.outPort].hasCredit(vs.outVC) {
+		return false
+	}
+	out := vs.outPort
+	r.traverse(now, i, f.VC, out, f, true, true)
+	r.busyIn[i] = true
+	r.busyOut[out] = true
+	return true
+}
+
+// popBuffer removes the head flit of (in, vc), paying buffer-read energy and
+// returning the freed slot's credit upstream.
+func (r *Router) popBuffer(in *inputPort, vc int) {
+	vs := in.vcs[vc]
+	vs.buf = vs.buf[:copy(vs.buf, vs.buf[1:])]
+	vs.at = vs.at[:copy(vs.at, vs.at[1:])]
+	r.cfg.Energy.AddRead()
+}
+
+// traverse moves flit f through the crossbar from (in, vc) to out: the ST
+// stage. viaPC marks pseudo-circuit reuse; bypass marks buffer bypassing
+// (the flit never occupied the buffer).
+func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, bypass bool) {
+	ip := r.in[in]
+	vs := ip.vcs[vc]
+	op := r.out[out]
+	st := r.cfg.Stats
+
+	// Fig. 1 crossbar-connection temporal locality, measured at packet
+	// granularity (header flits) regardless of scheme: body flits reuse
+	// their header's connection by construction and would trivially inflate
+	// the metric.
+	if f.Kind.IsHead() {
+		if ip.lastOut >= 0 {
+			st.XbarPrev++
+			if ip.lastOut == out {
+				st.XbarSame++
+			}
+		}
+		ip.lastOut = out
+	}
+
+	st.Traversals++
+	r.cfg.Energy.AddTraversal()
+	if f.Kind.IsHead() {
+		st.HeadTravs++
+	}
+	if viaPC {
+		st.PCReused++
+		if ip.pc.Speculative {
+			st.SpecReused++
+		}
+		if f.Kind.IsHead() {
+			st.HeadReused++
+		}
+	}
+	if bypass {
+		st.Bypassed++
+		if f.Kind.IsHead() {
+			st.HeadBypassed++
+		}
+	}
+
+	// Pseudo-circuit refresh: every traversal (re)writes the register
+	// (§3.B) and claims the output, terminating any other circuit on it.
+	if r.cfg.Opts.Pseudo {
+		if !ip.pc.Match(vc, out) {
+			st.PCCreated++
+		}
+		for j, other := range r.in {
+			if j != in && other.pc.Valid && other.pc.OutPort == out {
+				other.pc.Terminate()
+				st.PCTerminated++
+			}
+		}
+		ip.pc.Set(vc, out)
+		ip.hist.Record(vc, out)
+		op.hist.Record(in)
+	}
+
+	// Flow control and lookahead state for the next hop.
+	f.VC = vs.outVC
+	if !op.ejection {
+		op.credits[vs.outVC]--
+		if op.credits[vs.outVC] < 0 {
+			panic(fmt.Sprintf("router %d: negative credit on out %d vc %d", r.ID, out, vs.outVC))
+		}
+	}
+	if f.Kind.IsHead() {
+		f.Packet.Hops++
+	}
+	if f.Kind.IsTail() {
+		if !op.ejection {
+			op.vcBusy[vs.outVC] = false
+		}
+		vs.reset()
+	}
+	// The buffer slot (real or bypassed) is free again: return the credit.
+	r.outSends[out]++
+	r.cfg.Credit(r.ID, in, vc)
+	r.cfg.Send(r.ID, out, f)
+	_ = now
+}
+
+// OutputSends returns per-output-port flit counts over the router's
+// lifetime (link-utilization diagnostics).
+func (r *Router) OutputSends() []uint64 { return r.outSends }
+
+// Quiescent reports whether the router holds no flits and no pending grants
+// (used for drain-based termination and invariant tests).
+func (r *Router) Quiescent() bool {
+	if len(r.res) != 0 {
+		return false
+	}
+	for _, in := range r.in {
+		if in.arrival != nil {
+			return false
+		}
+		for _, vs := range in.vcs {
+			if len(vs.buf) != 0 || vs.active {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckInvariants panics if internal invariants are violated; tests call it
+// every cycle.
+func (r *Router) CheckInvariants() {
+	seenOut := make(map[int]int)
+	for i, in := range r.in {
+		if in.pc.Valid {
+			if prev, ok := seenOut[in.pc.OutPort]; ok {
+				panic(fmt.Sprintf("router %d: inputs %d and %d both hold a pseudo-circuit to output %d", r.ID, prev, i, in.pc.OutPort))
+			}
+			seenOut[in.pc.OutPort] = i
+		}
+		for v, vs := range in.vcs {
+			if len(vs.buf) != len(vs.at) {
+				panic(fmt.Sprintf("router %d: buffer/timestamp desync at in %d vc %d", r.ID, i, v))
+			}
+			if len(vs.buf) > r.cfg.BufDepth {
+				panic(fmt.Sprintf("router %d: buffer overflow at in %d vc %d", r.ID, i, v))
+			}
+		}
+	}
+	for o, op := range r.out {
+		if op.ejection {
+			continue
+		}
+		for v, c := range op.credits {
+			if c < 0 || c > r.cfg.BufDepth {
+				panic(fmt.Sprintf("router %d: credit %d out of range on out %d vc %d", r.ID, c, o, v))
+			}
+		}
+	}
+}
+
+// PCValid reports whether input port in currently holds a valid
+// pseudo-circuit, and to which output (testing hook).
+func (r *Router) PCValid(in int) (out int, valid bool) {
+	pc := &r.in[in].pc
+	return pc.OutPort, pc.Valid
+}
+
+// BufferedFlits returns the number of flits buffered across all VCs of input
+// port in (testing hook).
+func (r *Router) BufferedFlits(in int) int {
+	n := 0
+	for _, vs := range r.in[in].vcs {
+		n += len(vs.buf)
+	}
+	return n
+}

@@ -1,0 +1,290 @@
+package router_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/energy"
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/router"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// staticHarness builds a harness with static VA (destination-keyed).
+func staticHarness(t *testing.T, opts core.Options) *harness {
+	t.Helper()
+	h := newHarness(t, opts)
+	h.cfg.Alloc = vcalloc.New(vcalloc.Static, 4, 1, 64)
+	return h
+}
+
+// TestStaticVAPinsVC: under static VA, packets to the same destination use
+// the same output VC.
+func TestStaticVAPinsVC(t *testing.T) {
+	h := staticHarness(t, core.DefaultOptions(core.Baseline))
+	mk := func(id uint64, dst int) *flit.Flit {
+		p := &flit.Packet{ID: id, Src: 0, Dst: dst, Size: 1}
+		f := flit.Split(p)[0]
+		f.VC = 0
+		f.NextOut = 2
+		return f
+	}
+	h.r.Deliver(0, mk(1, 9))
+	h.tick()
+	h.tick()
+	h.tick()
+	h.r.Deliver(0, mk(2, 9))
+	h.tick()
+	h.tick()
+	h.tick()
+	if len(h.sent) != 2 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	if h.sent[0].f.VC != h.sent[1].f.VC {
+		t.Fatalf("same destination on different VCs: %d vs %d", h.sent[0].f.VC, h.sent[1].f.VC)
+	}
+	alloc := vcalloc.New(vcalloc.Static, 4, 1, 64)
+	if want := alloc.StaticVC(0, 9, 0); h.sent[0].f.VC != want {
+		t.Fatalf("VC = %d, want destination-keyed %d", h.sent[0].f.VC, want)
+	}
+}
+
+// TestVARetry: a header whose static VC is busy waits and allocates once
+// the VC frees (non-atomic reuse after the tail).
+func TestVARetry(t *testing.T) {
+	h := staticHarness(t, core.DefaultOptions(core.Baseline))
+	// Packet A (5 flits) to dst 9 occupies static VC; packet B to dst 13
+	// (13%4 == 9%4 == 1) from another input port must wait for A's tail.
+	mk := func(id uint64, dst, vc, size int) []*flit.Flit {
+		p := &flit.Packet{ID: id, Src: 0, Dst: dst, Size: size}
+		fs := flit.Split(p)
+		for _, f := range fs {
+			f.VC = vc
+			f.NextOut = 2
+		}
+		return fs
+	}
+	a := mk(1, 9, 0, 5)
+	b := mk(2, 13, 0, 1)
+	reflect := func() {
+		// The "downstream" pops each flit a cycle later, returning its
+		// credit.
+		for ; h.credited < len(h.sent); h.credited++ {
+			s := h.sent[h.credited]
+			h.r.DeliverCredit(s.out, s.f.VC)
+		}
+	}
+	for i, f := range a {
+		h.r.Deliver(0, f)
+		if i == 0 {
+			h.r.Deliver(1, b[0])
+		}
+		h.tick()
+		reflect()
+	}
+	for i := 0; len(h.sent) < 6 && i < 80; i++ {
+		h.tick()
+		reflect()
+	}
+	if len(h.sent) != 6 {
+		t.Fatalf("sent %d flits, want 6", len(h.sent))
+	}
+	// Whichever packet won VC allocation, the other must not interleave
+	// into the shared output VC: B's single flit is either first or last.
+	bPos := -1
+	for i, s := range h.sent {
+		if s.f.Packet.ID == 2 {
+			bPos = i
+		}
+	}
+	if bPos != 0 && bPos != 5 {
+		t.Fatalf("packet B interleaved into A's wormhole at position %d", bPos)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestHeadTailPacketsReusePC: single-flit packets (the CMP's address-only
+// requests) create and reuse pseudo-circuits like any other.
+func TestHeadTailPacketsReusePC(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoSB))
+	for i := 0; i < 6; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 2))
+		h.tick()
+		h.tick()
+		h.tick()
+		h.r.DeliverCredit(2, h.sent[len(h.sent)-1].f.VC)
+	}
+	if h.stats.PCReused < 4 {
+		t.Fatalf("PCReused = %d, want >= 4 of 6", h.stats.PCReused)
+	}
+	if h.stats.Bypassed < 4 {
+		t.Fatalf("Bypassed = %d, want >= 4", h.stats.Bypassed)
+	}
+}
+
+// TestMismatchFallsBackWithoutPenalty: a flit not matching the circuit goes
+// through the normal pipeline (3 cycles) — "no performance overhead"
+// (§3.B).
+func TestMismatchFallsBackWithoutPenalty(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Pseudo))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick() // circuit 0->2 up
+	start := h.now
+	h.r.Deliver(0, mkFlit(2, 0, 3)) // different output: mismatch
+	for len(h.sent) < 2 {
+		h.tick()
+	}
+	if got := h.lastSent(t).cycle - start; got != 2 {
+		t.Fatalf("mismatched flit took %d cycles, want 3-stage pipeline (ST at +2)", got+1)
+	}
+	if h.stats.PCReused != 0 {
+		t.Fatal("mismatch counted as reuse")
+	}
+}
+
+// TestAsymmetricRadix: routers with more inputs than outputs (MECS shape)
+// work.
+func TestAsymmetricRadix(t *testing.T) {
+	h := &harness{stats: &stats.Network{}}
+	h.cfg = &router.Config{
+		NumVCs:   2,
+		BufDepth: 2,
+		Opts:     core.DefaultOptions(core.PseudoSB),
+		Alloc:    vcalloc.New(vcalloc.Dynamic, 2, 1, 64),
+		Energy:   energy.NewMeter(),
+		Stats:    h.stats,
+		Send: func(id, out int, f *flit.Flit) {
+			h.sent = append(h.sent, sentFlit{out: out, f: f, cycle: h.now})
+		},
+		Credit: func(id, in, vc int) {},
+	}
+	h.r = router.New(0, 10, 3, h.cfg)
+	h.r.MarkEjection(2)
+	for in := 0; in < 10; in++ {
+		p := &flit.Packet{ID: uint64(in), Src: 0, Dst: 1, Size: 1}
+		f := flit.Split(p)[0]
+		f.VC = in % 2
+		f.NextOut = 2
+		h.r.Deliver(in, f)
+	}
+	for i := 0; i < 20; i++ {
+		h.tick()
+	}
+	if len(h.sent) != 10 {
+		t.Fatalf("delivered %d of 10 through the 10-in/3-out crossbar", len(h.sent))
+	}
+}
+
+// TestSpeculativeFlagClearsOnUse: the first traversal over a revived
+// circuit re-arms it as a normal circuit.
+func TestSpeculativeFlagClearsOnUse(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoSB))
+	// Build and break a circuit via credit starvation, then revive it.
+	for i := 0; i < 16; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 2))
+		for len(h.sent) != i+1 && h.now < 500 {
+			h.tick()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h.tick()
+	}
+	if _, valid := h.r.PCValid(0); valid {
+		t.Fatal("circuit should be credit-terminated")
+	}
+	for vc := 0; vc < 4; vc++ {
+		h.r.DeliverCredit(2, vc)
+	}
+	h.tick() // speculation revives
+	if _, valid := h.r.PCValid(0); !valid {
+		t.Fatal("speculation did not revive")
+	}
+	specReuse := h.stats.SpecReused
+	h.r.Deliver(0, mkFlit(99, 0, 2))
+	h.tick()
+	h.tick()
+	if h.stats.SpecReused != specReuse+1 {
+		t.Fatalf("speculative reuse not counted: %d -> %d", specReuse, h.stats.SpecReused)
+	}
+}
+
+// TestInvariantCheckerCatchesDoubleDelivery: two flits on one input port in
+// one cycle violate link bandwidth and must panic.
+func TestInvariantCheckerCatchesDoubleDelivery(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double delivery accepted")
+		}
+	}()
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.r.Deliver(0, mkFlit(2, 1, 3))
+}
+
+// TestCreditOverflowPanics: returning more credits than the buffer holds is
+// a protocol violation.
+func TestCreditOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit overflow accepted")
+		}
+	}()
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	h.r.DeliverCredit(2, 0)
+}
+
+// TestRNGlessDeterminism: two identical routers fed identical inputs make
+// identical decisions (no hidden nondeterminism in arbitration).
+func TestRNGlessDeterminism(t *testing.T) {
+	run := func() []sentFlit {
+		h := newHarness(t, core.DefaultOptions(core.PseudoSB))
+		rng := sim.NewRNG(4)
+		for cy := 0; cy < 200; cy++ {
+			in := rng.Intn(4)
+			if rng.Bernoulli(0.4) {
+				p := &flit.Packet{ID: uint64(cy), Src: 0, Dst: 1, Size: 1}
+				f := flit.Split(p)[0]
+				f.VC = rng.Intn(4)
+				f.NextOut = rng.Intn(5)
+				if hBuffered(h, in, f.VC) < 4 {
+					h.r.Deliver(in, f)
+				}
+			}
+			h.tick()
+			for len(h.credits) > 0 {
+				c := h.credits[0]
+				h.credits = h.credits[1:]
+				_ = c
+			}
+			for _, s := range h.sent[hCredited(h):] {
+				if s.out != 4 {
+					h.r.DeliverCredit(s.out, s.f.VC)
+				}
+				h.credited++
+			}
+		}
+		return h.sent
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d sends", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].out != b[i].out || a[i].cycle != b[i].cycle || a[i].f.Packet.ID != b[i].f.Packet.ID {
+			t.Fatalf("send %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func hBuffered(h *harness, in, vc int) int { return h.r.BufferedFlits(in) }
+func hCredited(h *harness) int             { return h.credited }

@@ -1,0 +1,416 @@
+package router_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/energy"
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/router"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// harness drives a single router directly, capturing sends and credits.
+type harness struct {
+	r        *router.Router
+	cfg      *router.Config
+	stats    *stats.Network
+	sent     []sentFlit
+	credits  []sentCredit
+	credited int // test-side bookkeeping for credit reflection
+	now      sim.Cycle
+}
+
+type sentFlit struct {
+	out   int
+	f     *flit.Flit
+	cycle sim.Cycle
+}
+
+type sentCredit struct {
+	in, vc int
+	cycle  sim.Cycle
+}
+
+// newHarness builds a 5-in/5-out router (4 directions + 1 terminal pair)
+// with the given scheme. Output 4 is the ejection port.
+func newHarness(t *testing.T, opts core.Options) *harness {
+	t.Helper()
+	h := &harness{stats: &stats.Network{}}
+	h.cfg = &router.Config{
+		NumVCs:   4,
+		BufDepth: 4,
+		Opts:     opts,
+		Alloc:    vcalloc.New(vcalloc.Dynamic, 4, 1, 64),
+		Energy:   energy.NewMeter(),
+		Stats:    h.stats,
+		Send: func(id, out int, f *flit.Flit) {
+			h.sent = append(h.sent, sentFlit{out: out, f: f, cycle: h.now})
+		},
+		Credit: func(id, in, vc int) {
+			h.credits = append(h.credits, sentCredit{in: in, vc: vc, cycle: h.now})
+		},
+	}
+	h.r = router.New(0, 5, 5, h.cfg)
+	h.r.MarkEjection(4)
+	return h
+}
+
+func (h *harness) tick() {
+	h.r.Tick(h.now)
+	h.r.CheckInvariants()
+	h.now++
+}
+
+// mkFlit builds a single-flit packet headed for output out at this router.
+func mkFlit(id uint64, vc, out int) *flit.Flit {
+	p := &flit.Packet{ID: id, Src: 0, Dst: 1, Size: 1}
+	f := flit.Split(p)[0]
+	f.VC = vc
+	f.NextOut = out
+	return f
+}
+
+// mkPacket builds an n-flit packet's flits headed for output out.
+func mkPacket(id uint64, vc, out, n int) []*flit.Flit {
+	p := &flit.Packet{ID: id, Src: 0, Dst: 1, Size: n}
+	fs := flit.Split(p)
+	for _, f := range fs {
+		f.VC = vc
+		f.NextOut = out
+	}
+	return fs
+}
+
+// lastSent returns the most recent send, failing if none.
+func (h *harness) lastSent(t *testing.T) sentFlit {
+	t.Helper()
+	if len(h.sent) == 0 {
+		t.Fatal("no flit sent")
+	}
+	return h.sent[len(h.sent)-1]
+}
+
+// TestBaselinePipelineDepth checks the 3-cycle baseline pipeline: a flit
+// delivered at cycle 0 performs BW(0), VA+SA(1), ST(2).
+func TestBaselinePipelineDepth(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	for i := 0; i < 3; i++ {
+		if len(h.sent) != 0 {
+			t.Fatalf("flit sent during cycle %d, want ST at cycle 2", h.now)
+		}
+		h.tick()
+	}
+	s := h.lastSent(t)
+	if s.cycle != 2 || s.out != 2 {
+		t.Fatalf("ST at cycle %d out %d, want cycle 2 out 2", s.cycle, s.out)
+	}
+}
+
+// TestPseudoCircuitReusePipeline checks Fig. 4 (a)+(b): the first flit
+// creates the pseudo-circuit; a later flit on the same VC to the same
+// output traverses one cycle after buffer write (BW | PC+ST).
+func TestPseudoCircuitReusePipeline(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Pseudo))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick() // BW
+	h.tick() // VA+SA
+	h.tick() // ST
+	if out, valid := h.r.PCValid(0); !valid || out != 2 {
+		t.Fatalf("pseudo-circuit not created: out=%d valid=%v", out, valid)
+	}
+	base := len(h.sent)
+
+	h.r.Deliver(0, mkFlit(2, 0, 2))
+	h.tick() // BW
+	h.tick() // PC + ST
+	if len(h.sent) != base+1 {
+		t.Fatalf("second flit not sent after 2 cycles (PC+ST)")
+	}
+	s := h.lastSent(t)
+	if got := s.cycle - 3; got != 1 {
+		t.Fatalf("PC-hit flit took %d cycles after arrival, want ST one cycle after BW", got+1)
+	}
+	if h.stats.PCReused != 1 {
+		t.Fatalf("PCReused = %d, want 1", h.stats.PCReused)
+	}
+	if h.stats.SAGrants != 1 {
+		t.Fatalf("SAGrants = %d, want 1 (only the first flit arbitrates)", h.stats.SAGrants)
+	}
+}
+
+// TestBufferBypassPipeline checks §4.B: with a connected pseudo-circuit and
+// an empty buffer, an arriving flit traverses in its arrival cycle.
+func TestBufferBypassPipeline(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoB))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick() // PC established
+	base := len(h.sent)
+
+	h.r.Deliver(0, mkFlit(2, 0, 2))
+	h.tick()
+	if len(h.sent) != base+1 {
+		t.Fatal("bypass flit not sent in its arrival cycle")
+	}
+	if h.stats.Bypassed != 1 {
+		t.Fatalf("Bypassed = %d, want 1", h.stats.Bypassed)
+	}
+	// Bypassed flits pay no buffer energy.
+	if h.cfg.Energy.Writes != 1 || h.cfg.Energy.Reads != 1 {
+		t.Fatalf("buffer events = %d writes/%d reads, want 1/1 (first flit only)",
+			h.cfg.Energy.Writes, h.cfg.Energy.Reads)
+	}
+}
+
+// TestPCTerminationByConflict checks Fig. 4 (c): a connection claiming the
+// pseudo-circuit's output port terminates it.
+func TestPCTerminationByConflict(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Pseudo))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick()
+	if _, valid := h.r.PCValid(0); !valid {
+		t.Fatal("pseudo-circuit not created")
+	}
+	// A flit from input 1 claims output 2.
+	h.r.Deliver(1, mkFlit(2, 0, 2))
+	h.tick()
+	h.tick() // SA grant terminates input 0's circuit
+	if _, valid := h.r.PCValid(0); valid {
+		t.Fatal("input 0's pseudo-circuit survived a conflicting grant")
+	}
+	h.tick()
+	if out, valid := h.r.PCValid(1); !valid || out != 2 {
+		t.Fatalf("input 1's circuit not created: out=%d valid=%v", out, valid)
+	}
+	if h.stats.PCTerminated == 0 {
+		t.Fatal("no termination recorded")
+	}
+}
+
+// TestPCTerminationSameInput: a flit from another VC of the same input port
+// to a different output also terminates the circuit (one circuit per input
+// port).
+func TestPCTerminationSameInput(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Pseudo))
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick()
+	h.r.Deliver(0, mkFlit(2, 1, 3)) // same input, VC 1, different output
+	h.tick()
+	h.tick() // grant claims input 0
+	h.tick() // traversal rewrites the register to output 3
+	if out, valid := h.r.PCValid(0); !valid || out != 3 {
+		t.Fatalf("pseudo-circuit = (out %d, valid %v), want rewritten to output 3", out, valid)
+	}
+}
+
+// TestSpeculationRevival checks Fig. 5: after the interloper's connection is
+// torn down by yet another connection, the output's history register revives
+// the most recent circuit when the output goes idle — and the revived
+// circuit carries a flit without SA.
+func TestSpeculationRevival(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoS))
+	// Input 1 connects to output 2 and holds the circuit.
+	h.r.Deliver(1, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick()
+	// Input 1 then sends to output 3: its register is rewritten, output 2
+	// goes idle with history pointing at input 1 — no revival possible for
+	// output 2 anymore (the register moved on). Instead check the
+	// congestion-relief revival: terminate by credit exhaustion.
+	if out, valid := h.r.PCValid(1); !valid || out != 2 {
+		t.Fatalf("precondition: circuit (out=%d valid=%v)", out, valid)
+	}
+	// Drain output 2's credits by filling it with traffic from input 1
+	// until no credit remains in any VC: dynamic VA spreads 16 single-flit
+	// packets across the 4 downstream VCs (4 credits each), and the
+	// harness never returns credits.
+	for i := 0; i < 15; i++ {
+		h.r.Deliver(1, mkFlit(uint64(10+i), 0, 2))
+		for want := i + 2; len(h.sent) < want && h.now < 500; {
+			h.tick()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		h.tick()
+	}
+	if _, valid := h.r.PCValid(1); valid {
+		t.Fatal("circuit survived credit exhaustion (all VCs empty downstream)")
+	}
+	// Congestion relief: return credits; speculation must revive the
+	// circuit without any flit traversal.
+	for vc := 0; vc < 4; vc++ {
+		h.r.DeliverCredit(2, vc)
+	}
+	h.tick()
+	if out, valid := h.r.PCValid(1); !valid || out != 2 {
+		t.Fatalf("speculation did not revive circuit after congestion relief: out=%d valid=%v", out, valid)
+	}
+	if h.stats.PCSpeculated == 0 {
+		t.Fatal("no speculative revival recorded")
+	}
+}
+
+// TestCreditGating: with zero credits on the output VC, flits stay buffered;
+// they move as soon as a credit arrives.
+func TestCreditGating(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	// Consume all 4 credits of the VC the allocator will pick. Dynamic VA
+	// picks the VC with most credits, so 4 packets drain VCs round-robin;
+	// force determinism by sending 16 single-flit packets (4 per VC).
+	for i := 0; i < 16; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 2))
+		for len(h.sent) != i+1 {
+			h.tick()
+			if h.now > 200 {
+				t.Fatalf("flit %d stuck with credits available", i)
+			}
+		}
+	}
+	// All 16 downstream slots consumed. The 17th flit must stall.
+	h.r.Deliver(0, mkFlit(99, 0, 2))
+	for i := 0; i < 10; i++ {
+		h.tick()
+	}
+	if len(h.sent) != 16 {
+		t.Fatalf("flit traversed without credit: sent=%d", len(h.sent))
+	}
+	h.r.DeliverCredit(2, h.sent[0].f.VC)
+	deadline := h.now + 5
+	for len(h.sent) != 17 && h.now < deadline {
+		h.tick()
+	}
+	if len(h.sent) != 17 {
+		t.Fatal("flit did not move after credit returned")
+	}
+}
+
+// TestWormholeOrder: flits of one packet leave in order on one VC, and the
+// tail frees the VC.
+func TestWormholeOrder(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoSB))
+	fs := mkPacket(1, 0, 2, 5)
+	reflected := 0
+	reflect := func() {
+		// Downstream pops each received flit after a cycle, returning its
+		// credit so the 5-flit packet fits through the 4-deep buffer.
+		for ; reflected < len(h.sent); reflected++ {
+			h.r.DeliverCredit(h.sent[reflected].out, h.sent[reflected].f.VC)
+		}
+	}
+	for _, f := range fs {
+		h.r.Deliver(0, f)
+		h.tick()
+		reflect()
+	}
+	for i := 0; i < 10 && len(h.sent) < 5; i++ {
+		h.tick()
+		reflect()
+	}
+	if len(h.sent) != 5 {
+		t.Fatalf("sent %d flits, want 5", len(h.sent))
+	}
+	for i, s := range h.sent {
+		if s.f.Seq != i {
+			t.Fatalf("flit %d left out of order (seq %d)", i, s.f.Seq)
+		}
+		if s.f.VC != h.sent[0].f.VC {
+			t.Fatalf("packet switched VCs mid-flight")
+		}
+	}
+	if !h.r.Quiescent() {
+		t.Fatal("router not quiescent after packet drained")
+	}
+}
+
+// TestEjectionPortUnconstrained: ejection ports need no credits.
+func TestEjectionPortUnconstrained(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	for i := 0; i < 12; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 4))
+		h.tick()
+		h.tick()
+		h.tick()
+	}
+	if len(h.sent) != 12 {
+		t.Fatalf("ejected %d flits, want 12", len(h.sent))
+	}
+}
+
+// TestCreditReturnedPerFlit: every traversal returns exactly one credit
+// upstream, including bypassed flits.
+func TestCreditReturnedPerFlit(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoSB))
+	for i := 0; i < 6; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 2))
+		h.tick()
+		h.tick()
+		h.tick()
+	}
+	if len(h.credits) != len(h.sent) {
+		t.Fatalf("credits %d != sends %d", len(h.credits), len(h.sent))
+	}
+	for _, c := range h.credits {
+		if c.in != 0 || c.vc != 0 {
+			t.Fatalf("credit for (in %d, vc %d), want (0, 0)", c.in, c.vc)
+		}
+	}
+}
+
+// TestBypassRefusedWhenBufferOccupied: §4.B requires the buffer to be empty.
+func TestBypassRefusedWhenBufferOccupied(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.PseudoB))
+	// Establish a circuit 0->2.
+	h.r.Deliver(0, mkFlit(1, 0, 2))
+	h.tick()
+	h.tick()
+	h.tick()
+	// Stall the next flit by exhausting credits on all VCs of output 2.
+	for i := 0; i < 15; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i+2), 0, 2))
+		for len(h.sent) != i+2 && h.now < 500 {
+			h.tick()
+		}
+	}
+	// Output 2 now has 0 credits on vc0 (16 flits sent, none credited).
+	h.r.Deliver(0, mkFlit(100, 0, 2))
+	h.tick() // buffered, cannot move
+	if h.r.BufferedFlits(0) != 1 {
+		t.Fatalf("buffered = %d, want 1", h.r.BufferedFlits(0))
+	}
+	bypassed := h.stats.Bypassed
+	h.r.Deliver(0, mkFlit(101, 0, 2))
+	h.tick()
+	if h.stats.Bypassed != bypassed {
+		t.Fatal("flit bypassed an occupied buffer")
+	}
+	if h.r.BufferedFlits(0) != 2 {
+		t.Fatalf("buffered = %d, want 2", h.r.BufferedFlits(0))
+	}
+}
+
+// TestNoSchemeStateInBaseline: the baseline never creates pseudo-circuits.
+func TestNoSchemeStateInBaseline(t *testing.T) {
+	h := newHarness(t, core.DefaultOptions(core.Baseline))
+	for i := 0; i < 8; i++ {
+		h.r.Deliver(0, mkFlit(uint64(i), 0, 2))
+		h.tick()
+		h.tick()
+		h.tick()
+	}
+	if _, valid := h.r.PCValid(0); valid {
+		t.Fatal("baseline router holds a valid pseudo-circuit")
+	}
+	if h.stats.PCReused != 0 || h.stats.PCCreated != 0 {
+		t.Fatal("baseline recorded pseudo-circuit activity")
+	}
+}

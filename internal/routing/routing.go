@@ -1,0 +1,92 @@
+// Package routing implements the routing algorithms the paper evaluates
+// (§5): the two dimension-order algorithms XY and YX, and O1TURN (Seo et
+// al., ISCA 2005), which picks the dimension order uniformly at random per
+// packet and is made deadlock-free by splitting the virtual channels into an
+// XY class and a YX class.
+//
+// All algorithms are used with lookahead routing (Galles): the output port
+// for the next router is computed during the current hop and carried in the
+// flit, keeping route computation off the router critical path (§3.A).
+package routing
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+)
+
+// Algorithm identifies a routing algorithm.
+type Algorithm int
+
+const (
+	// XY routes X-dimension first (DOR).
+	XY Algorithm = iota
+	// YX routes Y-dimension first (DOR).
+	YX
+	// O1TURN randomly chooses XY or YX per packet, with VC classes for
+	// deadlock freedom.
+	O1TURN
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case XY:
+		return "XY"
+	case YX:
+		return "YX"
+	case O1TURN:
+		return "O1TURN"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Engine binds an algorithm to a topology.
+type Engine struct {
+	algo Algorithm
+	topo topology.Topology
+}
+
+// New builds a routing engine.
+func New(algo Algorithm, topo topology.Topology) *Engine {
+	return &Engine{algo: algo, topo: topo}
+}
+
+// Algorithm returns the configured algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.algo }
+
+// NumClasses returns how many VC classes the algorithm needs for deadlock
+// freedom: O1TURN needs 2 (XY flits and YX flits must not share VCs); the
+// single-order algorithms need 1.
+func (e *Engine) NumClasses() int {
+	if e.algo == O1TURN {
+		return 2
+	}
+	return 1
+}
+
+// ClassFor picks the routing class for a new packet. O1TURN chooses the
+// first dimension uniformly at random (paper §5); XY and YX always use
+// class 0.
+func (e *Engine) ClassFor(rng *sim.RNG) int {
+	if e.algo == O1TURN {
+		return rng.Intn(2)
+	}
+	return 0
+}
+
+// Route returns the output port at router r for a packet to dstNode with
+// routing class class.
+func (e *Engine) Route(r, dstNode, class int) int {
+	switch e.algo {
+	case XY:
+		return e.topo.Route(r, dstNode, 0)
+	case YX:
+		return e.topo.Route(r, dstNode, 1)
+	case O1TURN:
+		return e.topo.Route(r, dstNode, class)
+	default:
+		panic(fmt.Sprintf("routing: unknown algorithm %d", int(e.algo)))
+	}
+}

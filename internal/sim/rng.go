@@ -1,0 +1,108 @@
+// Package sim provides the deterministic simulation substrate shared by all
+// other packages: a reproducible random-number generator and small helpers
+// for cycle-based bookkeeping.
+//
+// Everything in the simulator is deterministic given a seed, so experiments
+// are exactly repeatable and tests can assert on precise cycle counts.
+package sim
+
+// Cycle is a simulation time stamp measured in router clock cycles.
+type Cycle int64
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* variant). It is not safe for concurrent use; each
+// simulation owns one (or derives sub-streams with Split).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Split derives an independent sub-stream, used to give each traffic source
+// its own generator so injector order does not perturb other components.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xA5A5A5A5DEADBEEF)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (number of failures before the first success). Used for
+// burst-length modelling in the CMP workload profiles.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	n := 0
+	for !r.Bernoulli(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Perm fills dst with a pseudo-random permutation of [0, len(dst)).
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero-total weights choose uniformly.
+func (r *RNG) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,160 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pseudocircuit/internal/sim"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := sim.NewRNG(42), sim.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := sim.NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := sim.NewRNG(seed)
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	sim.NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := sim.NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := sim.NewRNG(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %.4f", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := sim.NewRNG(9)
+	// Mean failures before success with p = 1/(1+L) is L.
+	const L = 3.0
+	p := 1 / (1 + L)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-L) > 0.15 {
+		t.Fatalf("Geometric mean = %.3f, want ~%.1f", got, L)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	r := sim.NewRNG(1)
+	if got := r.Geometric(1); got != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", got)
+	}
+	if got := r.Geometric(2); got != 0 {
+		t.Fatalf("Geometric(2) = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, sz uint8) bool {
+		n := int(sz%64) + 1
+		dst := make([]int, n)
+		sim.NewRNG(seed).Perm(dst)
+		seen := make([]bool, n)
+		for _, v := range dst {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := sim.NewRNG(5)
+	counts := make([]int, 3)
+	weights := []float64{0, 1, 3}
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight bucket chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceZeroTotal(t *testing.T) {
+	r := sim.NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.WeightedChoice([]float64{0, 0, 0})] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("zero-total weights should choose uniformly")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := sim.NewRNG(11)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100 equal draws", same)
+	}
+}

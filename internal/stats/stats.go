@@ -1,0 +1,175 @@
+// Package stats collects the measurements the paper reports: packet latency,
+// throughput, pseudo-circuit reusability (§6, Fig. 8b/10), buffer bypass
+// rate, communication temporal locality (Fig. 1), and hop counts.
+package stats
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/sim"
+)
+
+// Network accumulates measurements for one simulation run. It is not safe
+// for concurrent use; a simulation owns one.
+type Network struct {
+	// Packets.
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	FlitsDelivered   uint64
+
+	// Latency sums over measured delivered packets, in cycles. Latency is
+	// measured from packet creation (entering the source queue) to
+	// tail-flit ejection; NetLatency from header injection into the
+	// network to tail ejection (excludes source queueing). Packets injected
+	// before the measurement window started are delivered but not sampled.
+	LatencySamples uint64
+	LatencySum     uint64
+	NetLatencySum  uint64
+	HopSum         uint64
+
+	// LatencyHist collects the measured packet-latency distribution for
+	// percentile reporting.
+	LatencyHist Histogram
+
+	// Router-level events.
+	Traversals   uint64 // flit crossbar traversals (all paths)
+	PCReused     uint64 // traversals that reused a pseudo-circuit (incl. bypass)
+	Bypassed     uint64 // traversals that also bypassed the input buffer
+	HeadTravs    uint64 // header-flit traversals
+	HeadReused   uint64 // header-flit pseudo-circuit reuses
+	HeadBypassed uint64 // header-flit buffer bypasses
+	SpecReused   uint64 // pseudo-circuit reuses of speculative circuits
+	PCCreated    uint64 // pseudo-circuits written by traversals
+	PCTerminated uint64 // terminations (conflict or credit exhaustion)
+	PCSpeculated uint64 // speculative revivals
+	SAGrants     uint64 // switch-arbitration grants
+
+	// Communication temporal locality (Fig. 1).
+	XbarSame uint64 // traversals repeating the previous connection at that input port
+	XbarPrev uint64 // traversals with a previous connection to compare against
+	E2ESame  uint64 // packets whose (src,dst) repeats the source's previous packet
+	E2EPrev  uint64 // packets with a previous packet at the source
+
+	// Warmup handling: events before Reset are discarded by reassigning the
+	// struct; this field records the measurement start for rate reporting.
+	MeasuredFrom sim.Cycle
+	MeasuredTo   sim.Cycle
+}
+
+// Reset clears all counters, marking the start of the measurement phase.
+func (n *Network) Reset(now sim.Cycle) {
+	*n = Network{MeasuredFrom: now}
+}
+
+// RecordDelivery accounts a fully ejected packet. Only measured packets
+// (injected inside the measurement window) contribute latency samples.
+func (n *Network) RecordDelivery(latency, netLatency sim.Cycle, flits, hops int, measured bool) {
+	n.PacketsDelivered++
+	n.FlitsDelivered += uint64(flits)
+	if !measured {
+		return
+	}
+	n.LatencySamples++
+	n.LatencySum += uint64(latency)
+	n.NetLatencySum += uint64(netLatency)
+	n.HopSum += uint64(hops)
+	n.LatencyHist.Add(uint64(latency))
+}
+
+// AvgLatency returns mean packet latency (creation → tail ejection).
+func (n *Network) AvgLatency() float64 {
+	if n.LatencySamples == 0 {
+		return 0
+	}
+	return float64(n.LatencySum) / float64(n.LatencySamples)
+}
+
+// AvgNetLatency returns mean network latency (injection → tail ejection).
+func (n *Network) AvgNetLatency() float64 {
+	if n.LatencySamples == 0 {
+		return 0
+	}
+	return float64(n.NetLatencySum) / float64(n.LatencySamples)
+}
+
+// AvgHops returns mean router hops per delivered packet.
+func (n *Network) AvgHops() float64 {
+	if n.LatencySamples == 0 {
+		return 0
+	}
+	return float64(n.HopSum) / float64(n.LatencySamples)
+}
+
+// Reusability returns the fraction of flit traversals that reused a
+// pseudo-circuit (paper Fig. 8b/10 definition).
+func (n *Network) Reusability() float64 {
+	if n.Traversals == 0 {
+		return 0
+	}
+	return float64(n.PCReused) / float64(n.Traversals)
+}
+
+// BypassRate returns the fraction of flit traversals that bypassed the
+// input buffer.
+func (n *Network) BypassRate() float64 {
+	if n.Traversals == 0 {
+		return 0
+	}
+	return float64(n.Bypassed) / float64(n.Traversals)
+}
+
+// HeadReuseRate returns the fraction of header-flit traversals that reused
+// a pseudo-circuit — the component of reusability that shortens packet
+// latency directly (body flits pipeline behind their header either way).
+func (n *Network) HeadReuseRate() float64 {
+	if n.HeadTravs == 0 {
+		return 0
+	}
+	return float64(n.HeadReused) / float64(n.HeadTravs)
+}
+
+// HeadBypassRate returns the fraction of header-flit traversals that also
+// bypassed the input buffer.
+func (n *Network) HeadBypassRate() float64 {
+	if n.HeadTravs == 0 {
+		return 0
+	}
+	return float64(n.HeadBypassed) / float64(n.HeadTravs)
+}
+
+// XbarLocality returns crossbar-connection temporal locality (Fig. 1): the
+// fraction of traversals repeating the previous connection at their input
+// port.
+func (n *Network) XbarLocality() float64 {
+	if n.XbarPrev == 0 {
+		return 0
+	}
+	return float64(n.XbarSame) / float64(n.XbarPrev)
+}
+
+// E2ELocality returns end-to-end communication temporal locality (Fig. 1):
+// the fraction of packets repeating their source's previous destination.
+func (n *Network) E2ELocality() float64 {
+	if n.E2EPrev == 0 {
+		return 0
+	}
+	return float64(n.E2ESame) / float64(n.E2EPrev)
+}
+
+// Throughput returns delivered flits per node per cycle over the measured
+// window, for nodes terminals.
+func (n *Network) Throughput(nodes int) float64 {
+	cycles := n.MeasuredTo - n.MeasuredFrom
+	if cycles <= 0 || nodes == 0 {
+		return 0
+	}
+	return float64(n.FlitsDelivered) / float64(cycles) / float64(nodes)
+}
+
+// String summarizes the run for logs and examples.
+func (n *Network) String() string {
+	return fmt.Sprintf(
+		"pkts=%d lat=%.2f netlat=%.2f hops=%.2f reuse=%.1f%% bypass=%.1f%% xbarLoc=%.1f%% e2eLoc=%.1f%%",
+		n.PacketsDelivered, n.AvgLatency(), n.AvgNetLatency(), n.AvgHops(),
+		100*n.Reusability(), 100*n.BypassRate(), 100*n.XbarLocality(), 100*n.E2ELocality())
+}

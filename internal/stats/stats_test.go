@@ -1,0 +1,102 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pseudocircuit/internal/stats"
+)
+
+func TestZeroValueSafe(t *testing.T) {
+	var n stats.Network
+	for name, v := range map[string]float64{
+		"AvgLatency":    n.AvgLatency(),
+		"AvgNetLatency": n.AvgNetLatency(),
+		"AvgHops":       n.AvgHops(),
+		"Reusability":   n.Reusability(),
+		"BypassRate":    n.BypassRate(),
+		"XbarLocality":  n.XbarLocality(),
+		"E2ELocality":   n.E2ELocality(),
+		"HeadReuseRate": n.HeadReuseRate(),
+		"Throughput":    n.Throughput(64),
+	} {
+		if v != 0 {
+			t.Errorf("%s on zero value = %v", name, v)
+		}
+	}
+}
+
+func TestRecordDelivery(t *testing.T) {
+	var n stats.Network
+	n.RecordDelivery(10, 8, 5, 3, true)
+	n.RecordDelivery(20, 16, 1, 4, true)
+	n.RecordDelivery(100, 90, 5, 2, false) // unmeasured: counted, not sampled
+	if n.PacketsDelivered != 3 || n.FlitsDelivered != 11 {
+		t.Fatalf("counts = %d pkts / %d flits", n.PacketsDelivered, n.FlitsDelivered)
+	}
+	if got := n.AvgLatency(); math.Abs(got-15) > 1e-9 {
+		t.Errorf("AvgLatency = %v, want 15", got)
+	}
+	if got := n.AvgNetLatency(); math.Abs(got-12) > 1e-9 {
+		t.Errorf("AvgNetLatency = %v, want 12", got)
+	}
+	if got := n.AvgHops(); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("AvgHops = %v, want 3.5", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	var n stats.Network
+	n.Traversals = 200
+	n.PCReused = 80
+	n.Bypassed = 30
+	n.HeadTravs = 50
+	n.HeadReused = 20
+	n.HeadBypassed = 5
+	n.XbarPrev = 100
+	n.XbarSame = 31
+	n.E2EPrev = 100
+	n.E2ESame = 22
+	if got := n.Reusability(); got != 0.4 {
+		t.Errorf("Reusability = %v", got)
+	}
+	if got := n.BypassRate(); got != 0.15 {
+		t.Errorf("BypassRate = %v", got)
+	}
+	if got := n.HeadReuseRate(); got != 0.4 {
+		t.Errorf("HeadReuseRate = %v", got)
+	}
+	if got := n.HeadBypassRate(); got != 0.1 {
+		t.Errorf("HeadBypassRate = %v", got)
+	}
+	if got := n.XbarLocality(); got != 0.31 {
+		t.Errorf("XbarLocality = %v", got)
+	}
+	if got := n.E2ELocality(); got != 0.22 {
+		t.Errorf("E2ELocality = %v", got)
+	}
+}
+
+func TestThroughputAndReset(t *testing.T) {
+	var n stats.Network
+	n.Reset(100)
+	n.FlitsDelivered = 640
+	n.MeasuredTo = 200
+	if got := n.Throughput(64); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Throughput = %v, want 0.1", got)
+	}
+	n.Reset(500)
+	if n.FlitsDelivered != 0 || n.MeasuredFrom != 500 {
+		t.Error("Reset did not clear counters / set window start")
+	}
+}
+
+func TestString(t *testing.T) {
+	var n stats.Network
+	n.RecordDelivery(10, 9, 2, 3, true)
+	s := n.String()
+	if !strings.Contains(s, "pkts=1") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,260 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/trace"
+)
+
+func roundTrip(t *testing.T, recs []trace.Record, nodes int) []trace.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Nodes() != nodes {
+		t.Fatalf("nodes = %d, want %d", rd.Nodes(), nodes)
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := []trace.Record{
+		{Cycle: 0, Src: 1, Dst: 2, Size: 1, Class: flit.ClassRequest},
+		{Cycle: 0, Src: 5, Dst: 9, Size: 5, Class: flit.ClassResponse},
+		{Cycle: 17, Src: 63, Dst: 0, Size: 5, Class: flit.ClassCoherence},
+		{Cycle: 100000, Src: 3, Dst: 4, Size: 1, Class: flit.ClassData},
+	}
+	got := roundTrip(t, recs, 64)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestRoundTripProperty: arbitrary monotone traces survive the codec.
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(deltas []uint16, seed uint64) bool {
+		if len(deltas) > 200 {
+			deltas = deltas[:200]
+		}
+		rng := sim.NewRNG(seed)
+		var recs []trace.Record
+		cy := sim.Cycle(0)
+		for _, d := range deltas {
+			cy += sim.Cycle(d)
+			recs = append(recs, trace.Record{
+				Cycle: cy,
+				Src:   rng.Intn(64),
+				Dst:   rng.Intn(64),
+				Size:  1 + rng.Intn(8),
+				Class: flit.Class(rng.Intn(4)),
+			})
+		}
+		got := roundTrip(t, recs, 64)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsBackwardCycles(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, 4)
+	if err := w.Write(trace.Record{Cycle: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(trace.Record{Cycle: 9}); err == nil {
+		t.Fatal("backward cycle accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewBufferString("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := trace.NewReader(bytes.NewBufferString("PC")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	got := roundTrip(t, nil, 16)
+	if len(got) != 0 {
+		t.Fatalf("empty trace returned %d records", len(got))
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, 4)
+	w.Write(trace.Record{Cycle: 1, Src: 1, Dst: 2, Size: 5})
+	w.Flush()
+	data := buf.Bytes()
+	rd, err := trace.NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd.Read()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record error = %v, want non-EOF error", err)
+	}
+}
+
+// collectInjector records injections for player tests.
+type collectInjector struct{ pkts []*flit.Packet }
+
+func (c *collectInjector) Inject(p *flit.Packet) { c.pkts = append(c.pkts, p) }
+
+func TestPlayerTiming(t *testing.T) {
+	recs := []trace.Record{
+		{Cycle: 5, Src: 0, Dst: 1, Size: 1},
+		{Cycle: 5, Src: 2, Dst: 3, Size: 5},
+		{Cycle: 9, Src: 1, Dst: 0, Size: 1},
+	}
+	p := trace.NewPlayer(recs)
+	var c collectInjector
+	// Start at cycle 100: offsets shift the trace to begin there.
+	for cy := sim.Cycle(100); cy < 110; cy++ {
+		before := len(c.pkts)
+		p.Tick(cy, &c)
+		switch cy {
+		case 100:
+			if len(c.pkts)-before != 2 {
+				t.Fatalf("cycle 100 injected %d, want 2", len(c.pkts)-before)
+			}
+		case 104:
+			if len(c.pkts)-before != 1 {
+				t.Fatalf("cycle 104 injected %d, want 1", len(c.pkts)-before)
+			}
+		default:
+			if len(c.pkts) != before {
+				t.Fatalf("cycle %d injected unexpectedly", cy)
+			}
+		}
+	}
+	if !p.Done() {
+		t.Error("player not done after trace exhausted")
+	}
+}
+
+func TestPlayerLoop(t *testing.T) {
+	recs := []trace.Record{{Cycle: 0, Src: 0, Dst: 1, Size: 1}, {Cycle: 3, Src: 1, Dst: 2, Size: 1}}
+	p := trace.NewPlayer(recs)
+	p.Loop = true
+	var c collectInjector
+	for cy := sim.Cycle(0); cy < 40; cy++ {
+		p.Tick(cy, &c)
+	}
+	if p.Done() {
+		t.Error("looping player reported done")
+	}
+	if len(c.pkts) < 15 {
+		t.Errorf("looping player injected %d packets over 40 cycles, want ~20", len(c.pkts))
+	}
+}
+
+// TestRecorderTees: the recorder forwards every injection and captures it.
+func TestRecorderTees(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, 8)
+	inner := &fakeWorkload{}
+	rec := &trace.Recorder{Inner: inner, W: w}
+	var c collectInjector
+	for cy := sim.Cycle(0); cy < 10; cy++ {
+		rec.Tick(cy, &c)
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	w.Flush()
+	rd, _ := trace.NewReader(&buf)
+	recs, _ := rd.ReadAll()
+	if len(recs) != len(c.pkts) || len(recs) != 10 {
+		t.Fatalf("recorded %d, forwarded %d, want 10 each", len(recs), len(c.pkts))
+	}
+}
+
+type fakeWorkload struct{ n int }
+
+func (f *fakeWorkload) Tick(now sim.Cycle, inj network.Injector) {
+	f.n++
+	inj.Inject(&flit.Packet{Src: 0, Dst: 1, Size: 1})
+}
+func (f *fakeWorkload) Deliver(now sim.Cycle, p *flit.Packet) {}
+func (f *fakeWorkload) Done() bool                            { return false }
+
+// TestWireFormatGolden pins the on-disk byte layout so existing trace files
+// stay readable across refactors.
+func TestWireFormatGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(trace.Record{Cycle: 5, Src: 1, Dst: 2, Size: 5, Class: flit.ClassResponse})
+	w.Write(trace.Record{Cycle: 300, Src: 63, Dst: 0, Size: 1, Class: flit.ClassRequest})
+	w.Flush()
+	want := []byte{
+		'P', 'C', 'T', 'R', // magic
+		1,  // version
+		64, // nodes
+		// record 1: delta=5, src=1, dst=2, size=5, class=1
+		5, 1, 2, 5, 1,
+		// record 2: delta=295 (varint 0xa7 0x02), src=63, dst=0, size=1, class=0
+		0xa7, 0x02, 63, 0, 1, 0,
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("wire format changed:\n got %v\nwant %v", buf.Bytes(), want)
+	}
+}
+
+// TestPlayerRemaining tracks playback progress.
+func TestPlayerRemaining(t *testing.T) {
+	p := trace.NewPlayer([]trace.Record{{Cycle: 0, Src: 0, Dst: 1, Size: 1}, {Cycle: 5, Src: 1, Dst: 2, Size: 1}})
+	var c collectInjector
+	if p.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", p.Remaining())
+	}
+	p.Tick(0, &c)
+	if p.Remaining() != 1 {
+		t.Fatalf("Remaining after first = %d", p.Remaining())
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/sim"
+)
+
+// Recorder wraps a workload and captures every packet it injects, in
+// injection order. Use it around the CMP substrate to extract traces the way
+// the paper extracts them from its full-system simulator.
+type Recorder struct {
+	Inner network.Workload
+	W     *Writer
+	err   error
+}
+
+// recInjector tees injections into the trace writer.
+type recInjector struct {
+	rec *Recorder
+	inj network.Injector
+	now sim.Cycle
+}
+
+func (ri recInjector) Inject(p *flit.Packet) {
+	if err := ri.rec.W.Write(Record{
+		Cycle: ri.now, Src: p.Src, Dst: p.Dst, Size: p.Size, Class: p.Class,
+	}); err != nil && ri.rec.err == nil {
+		ri.rec.err = err
+	}
+	ri.inj.Inject(p)
+}
+
+// Tick implements network.Workload.
+func (r *Recorder) Tick(now sim.Cycle, inj network.Injector) {
+	r.Inner.Tick(now, recInjector{rec: r, inj: inj, now: now})
+}
+
+// Deliver implements network.Workload.
+func (r *Recorder) Deliver(now sim.Cycle, p *flit.Packet) { r.Inner.Deliver(now, p) }
+
+// Done implements network.Workload.
+func (r *Recorder) Done() bool { return r.Inner.Done() }
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Player replays a recorded trace open-loop: each packet is injected at its
+// recorded cycle (shifted so the first record lands at the player's start).
+type Player struct {
+	recs []Record
+	idx  int
+	off  sim.Cycle
+	set  bool
+	// Loop restarts the trace when exhausted (for fixed-length runs).
+	Loop  bool
+	loops sim.Cycle // cumulative cycle offset accrued by looping
+}
+
+// NewPlayer builds a player over recs (must be cycle-ordered, as produced by
+// Reader).
+func NewPlayer(recs []Record) *Player {
+	return &Player{recs: recs}
+}
+
+// Tick implements network.Workload.
+func (p *Player) Tick(now sim.Cycle, inj network.Injector) {
+	if len(p.recs) == 0 {
+		return
+	}
+	if !p.set {
+		p.off = now - p.recs[0].Cycle
+		p.set = true
+	}
+	for {
+		if p.idx >= len(p.recs) {
+			if !p.Loop {
+				return
+			}
+			// Restart the trace after the last record's timestamp.
+			last := p.recs[len(p.recs)-1].Cycle
+			p.loops += last - p.recs[0].Cycle + 1
+			p.idx = 0
+		}
+		r := p.recs[p.idx]
+		if r.Cycle+p.off+p.loops > now {
+			return
+		}
+		p.idx++
+		inj.Inject(&flit.Packet{Src: r.Src, Dst: r.Dst, Size: r.Size, Class: r.Class})
+	}
+}
+
+// Deliver implements network.Workload.
+func (p *Player) Deliver(now sim.Cycle, pk *flit.Packet) {}
+
+// Done implements network.Workload.
+func (p *Player) Done() bool { return !p.Loop && p.idx >= len(p.recs) }
+
+// Remaining returns the number of unplayed records.
+func (p *Player) Remaining() int { return len(p.recs) - p.idx }

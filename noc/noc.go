@@ -1,0 +1,306 @@
+// Package noc is the public API of the pseudo-circuit reproduction: a
+// cycle-accurate on-chip-network simulator with the pseudo-circuit
+// acceleration schemes of Ahn & Kim (MICRO 2010), plus the topologies,
+// routing algorithms, VC-allocation policies, traffic models and energy
+// accounting their evaluation uses.
+//
+// Quick start:
+//
+//	exp := noc.Experiment{
+//		Topology: noc.Mesh(8, 8),
+//		Scheme:   noc.PseudoSB,
+//		Routing:  noc.XY,
+//		Policy:   noc.StaticVA,
+//	}
+//	res := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.1})
+//	fmt.Printf("latency: %.2f cycles, reuse: %.1f%%\n", res.AvgLatency, 100*res.Reusability)
+//
+// The lower layers remain accessible through the returned Network for users
+// who need router-level introspection.
+package noc
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/cmp"
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/evc"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/router"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// Scheme selects a pseudo-circuit configuration; see the paper's four
+// schemes plus the baseline.
+type Scheme = core.Scheme
+
+// The evaluated schemes (paper §6).
+var (
+	Baseline = core.Baseline
+	Pseudo   = core.Pseudo
+	PseudoS  = core.PseudoS
+	PseudoB  = core.PseudoB
+	PseudoSB = core.PseudoSB
+)
+
+// Schemes lists the five configurations in the paper's order.
+var Schemes = core.Schemes
+
+// Options exposes the ablation knobs around a Scheme.
+type Options = core.Options
+
+// DefaultOptions returns the paper's options for a scheme.
+func DefaultOptions(s Scheme) Options { return core.DefaultOptions(s) }
+
+// Topology construction (paper §5, §7.A).
+type Topology = topology.Topology
+
+// Mesh returns a kx × ky 2D mesh (one terminal per router).
+func Mesh(kx, ky int) Topology { return topology.NewMesh(kx, ky) }
+
+// CMesh returns a concentrated mesh with conc terminals per router.
+func CMesh(kx, ky, conc int) Topology { return topology.NewCMesh(kx, ky, conc) }
+
+// MECS returns a Multidrop Express Cube.
+func MECS(kx, ky, conc int) Topology { return topology.NewMECS(kx, ky, conc) }
+
+// FBFly returns a flattened butterfly.
+func FBFly(kx, ky, conc int) Topology { return topology.NewFBFly(kx, ky, conc) }
+
+// Routing algorithms (paper §5).
+type Algorithm = routing.Algorithm
+
+const (
+	XY     = routing.XY
+	YX     = routing.YX
+	O1TURN = routing.O1TURN
+)
+
+// VC-allocation policies (paper §5).
+type Policy = vcalloc.Policy
+
+const (
+	DynamicVA = vcalloc.Dynamic
+	StaticVA  = vcalloc.Static
+)
+
+// Synthetic traffic patterns (paper §6.B).
+type Pattern = traffic.Pattern
+
+const (
+	UniformRandom  = traffic.UniformRandom
+	BitComplement  = traffic.BitComplement
+	BitPermutation = traffic.BitPermutation
+	Hotspot        = traffic.Hotspot
+)
+
+// Synthetic parameterizes a synthetic workload: the pattern and the per-node
+// injection rate in flits/node/cycle. PacketSize defaults to the paper's 5
+// flits.
+type Synthetic struct {
+	Pattern    Pattern
+	Rate       float64
+	PacketSize int
+}
+
+// Network re-exports the assembled simulator for low-level use.
+type Network = network.Network
+
+// Workload re-exports the traffic-generation interface.
+type Workload = network.Workload
+
+// Experiment describes one simulation configuration. Zero values select the
+// paper's defaults (4 VCs, 4-flit buffers, 1000-cycle warmup, 10000-cycle
+// measurement, seed 1).
+type Experiment struct {
+	Topology Topology
+	Scheme   Scheme
+	// Opts overrides the scheme's default ablation knobs when non-nil.
+	Opts    *Options
+	Routing Algorithm
+	Policy  Policy
+	// StaticKey selects the static-VA hash (destination by default).
+	StaticKey vcalloc.StaticKey
+	NumVCs    int
+	BufDepth  int
+	Seed      uint64
+	// UseEVC replaces the router with the Express-Virtual-Channel
+	// comparison baseline (§7.B); Scheme must be Baseline and Topology a
+	// mesh/cmesh.
+	UseEVC bool
+
+	Warmup  int // warmup cycles before measurement
+	Measure int // measured cycles
+}
+
+// Result carries the measurements the paper reports.
+type Result struct {
+	AvgLatency    float64 // packet latency incl. source queueing, cycles
+	AvgNetLatency float64 // injection -> ejection, cycles
+	LatencyP50    uint64  // packet-latency percentiles, cycles
+	LatencyP95    uint64
+	LatencyP99    uint64
+	AvgHops       float64
+	Reusability   float64 // fraction of traversals reusing a pseudo-circuit
+	BypassRate    float64 // fraction of traversals bypassing the buffer
+	XbarLocality  float64 // Fig. 1 crossbar-connection temporal locality
+	E2ELocality   float64 // Fig. 1 end-to-end temporal locality
+	Throughput    float64 // delivered flits/node/cycle
+
+	EnergyPJ   float64 // total router energy over the measured window
+	BufferPJ   float64
+	CrossbarPJ float64
+	ArbiterPJ  float64
+
+	PacketsDelivered uint64
+	FlitsDelivered   uint64
+	Cycles           int
+}
+
+func (e Experiment) defaults() Experiment {
+	if e.NumVCs == 0 {
+		e.NumVCs = 4
+	}
+	if e.BufDepth == 0 {
+		e.BufDepth = 4
+	}
+	if e.Seed == 0 {
+		e.Seed = 1
+	}
+	if e.Warmup == 0 {
+		e.Warmup = 1000
+	}
+	if e.Measure == 0 {
+		e.Measure = 10000
+	}
+	return e
+}
+
+// Build constructs the network for this experiment without running it.
+func (e Experiment) Build() *Network {
+	e = e.defaults()
+	cfg := network.Config{
+		Topo:      e.Topology,
+		Algorithm: e.Routing,
+		Policy:    e.Policy,
+		StaticKey: e.StaticKey,
+		NumVCs:    e.NumVCs,
+		BufDepth:  e.BufDepth,
+		Opts:      core.DefaultOptions(e.Scheme),
+		Seed:      e.Seed,
+	}
+	if e.Opts != nil {
+		cfg.Opts = *e.Opts
+	}
+	if e.UseEVC {
+		if e.Scheme.Pseudo {
+			panic("noc: UseEVC is a comparison baseline; Scheme must be Baseline")
+		}
+		m, ok := e.Topology.(*topology.Mesh)
+		if !ok {
+			panic("noc: UseEVC requires a mesh or concentrated-mesh topology")
+		}
+		nEVC := e.NumVCs / 2
+		cfg.NIVCLimit = e.NumVCs - nEVC
+		cfg.Factory = func(id, in, out int, rcfg *router.Config) network.Node {
+			return evc.New(id, in, out, rcfg, m, nEVC)
+		}
+	}
+	return network.New(cfg)
+}
+
+// Run executes the experiment against an arbitrary workload.
+func (e Experiment) Run(w Workload) Result {
+	return e.RunOn(e.Build(), w)
+}
+
+// RunOn executes the experiment's warmup/measure protocol on an
+// already-built network (from Build), leaving the network available for
+// post-run inspection (e.g. Network.LinkLoads).
+func (e Experiment) RunOn(n *Network, w Workload) Result {
+	e = e.defaults()
+	n.Run(w, e.Warmup)
+	n.ResetStats()
+	n.Run(w, e.Measure)
+	return collect(n, e.Measure)
+}
+
+// SyntheticWorkload builds the synthetic workload for this experiment's
+// topology without running it (for callers driving the Network directly).
+func (e Experiment) SyntheticWorkload(s Synthetic) Workload {
+	e = e.defaults()
+	return traffic.NewSynthetic(traffic.Config{
+		Pattern:    s.Pattern,
+		Nodes:      e.Topology.Nodes(),
+		Rate:       s.Rate,
+		PacketSize: s.PacketSize,
+	}, sim.NewRNG(e.Seed^0xABCD))
+}
+
+// CMPWorkload builds the closed-loop CMP workload for the named benchmark
+// without running it.
+func (e Experiment) CMPWorkload(benchmark string) (Workload, error) {
+	e = e.defaults()
+	prof, ok := cmp.ProfileByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown benchmark %q (have %v)", benchmark, CMPBenchmarks())
+	}
+	return cmp.New(e.Topology, cmp.PaperTableI(), prof, sim.NewRNG(e.Seed^0x51ED)), nil
+}
+
+// RunSynthetic executes the experiment with a synthetic pattern.
+func (e Experiment) RunSynthetic(s Synthetic) Result {
+	return e.Run(e.SyntheticWorkload(s))
+}
+
+// CMPBenchmarks lists the benchmark profile names usable with RunCMP, in the
+// paper's reporting order.
+func CMPBenchmarks() []string {
+	ps := cmp.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// RunCMP executes the experiment against the closed-loop CMP substrate with
+// the named benchmark profile. The topology must host 64 terminals (32
+// cores + 32 L2 banks), e.g. CMesh(4,4,4) or Mesh(8,8).
+func (e Experiment) RunCMP(benchmark string) (Result, error) {
+	w, err := e.CMPWorkload(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(w), nil
+}
+
+func collect(n *Network, cycles int) Result {
+	s := n.Stats
+	m := n.Energy
+	p50, p95, p99 := s.LatencyHist.Quantiles()
+	return Result{
+		AvgLatency:       s.AvgLatency(),
+		AvgNetLatency:    s.AvgNetLatency(),
+		LatencyP50:       p50,
+		LatencyP95:       p95,
+		LatencyP99:       p99,
+		AvgHops:          s.AvgHops(),
+		Reusability:      s.Reusability(),
+		BypassRate:       s.BypassRate(),
+		XbarLocality:     s.XbarLocality(),
+		E2ELocality:      s.E2ELocality(),
+		Throughput:       s.Throughput(n.Nodes()),
+		EnergyPJ:         m.Total(),
+		BufferPJ:         m.BufferEnergy(),
+		CrossbarPJ:       m.CrossbarEnergy(),
+		ArbiterPJ:        m.ArbiterEnergy(),
+		PacketsDelivered: s.PacketsDelivered,
+		FlitsDelivered:   s.FlitsDelivered,
+		Cycles:           cycles,
+	}
+}

@@ -1,0 +1,177 @@
+package noc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// Spec is the serializable form of an Experiment, for config files and
+// machine-driven sweeps. All fields use the human-readable names the CLI
+// tools accept; zero values select the paper defaults.
+type Spec struct {
+	// Topology is "mesh<KX>x<KY>", "cmesh<KX>x<KY>x<C>", "mecs<KX>x<KY>x<C>"
+	// or "fbfly<KX>x<KY>x<C>".
+	Topology string `json:"topology"`
+	// Scheme is "baseline", "pseudo", "pseudo+s", "pseudo+b" or
+	// "pseudo+s+b".
+	Scheme string `json:"scheme"`
+	// Routing is "xy", "yx" or "o1turn".
+	Routing string `json:"routing,omitempty"`
+	// VA is "dynamic" or "static".
+	VA string `json:"va,omitempty"`
+	// StaticKey is "destination" (default) or "flow".
+	StaticKey string `json:"staticKey,omitempty"`
+	NumVCs    int    `json:"numVCs,omitempty"`
+	BufDepth  int    `json:"bufDepth,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	UseEVC    bool   `json:"useEVC,omitempty"`
+	Warmup    int    `json:"warmup,omitempty"`
+	Measure   int    `json:"measure,omitempty"`
+}
+
+// ParseTopology resolves a topology name of the forms Spec.Topology
+// documents.
+func ParseTopology(s string) (Topology, error) {
+	var kx, ky, c int
+	switch {
+	case strings.HasPrefix(s, "mesh"):
+		if n, err := fmt.Sscanf(s, "mesh%dx%d", &kx, &ky); n == 2 && err == nil {
+			return topology.NewMesh(kx, ky), nil
+		}
+	case strings.HasPrefix(s, "cmesh"):
+		if n, err := fmt.Sscanf(s, "cmesh%dx%dx%d", &kx, &ky, &c); n == 3 && err == nil {
+			return topology.NewCMesh(kx, ky, c), nil
+		}
+	case strings.HasPrefix(s, "mecs"):
+		if n, err := fmt.Sscanf(s, "mecs%dx%dx%d", &kx, &ky, &c); n == 3 && err == nil {
+			return topology.NewMECS(kx, ky, c), nil
+		}
+	case strings.HasPrefix(s, "fbfly"):
+		if n, err := fmt.Sscanf(s, "fbfly%dx%dx%d", &kx, &ky, &c); n == 3 && err == nil {
+			return topology.NewFBFly(kx, ky, c), nil
+		}
+	}
+	return nil, fmt.Errorf("noc: unknown topology %q", s)
+}
+
+// ParseScheme resolves a scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(s) {
+	case "", "baseline":
+		return Baseline, nil
+	case "pseudo":
+		return Pseudo, nil
+	case "pseudo+s":
+		return PseudoS, nil
+	case "pseudo+b":
+		return PseudoB, nil
+	case "pseudo+s+b":
+		return PseudoSB, nil
+	default:
+		return Baseline, fmt.Errorf("noc: unknown scheme %q", s)
+	}
+}
+
+// Experiment materializes the spec.
+func (s Spec) Experiment() (Experiment, error) {
+	var e Experiment
+	t, err := ParseTopology(s.Topology)
+	if err != nil {
+		return e, err
+	}
+	e.Topology = t
+	if e.Scheme, err = ParseScheme(s.Scheme); err != nil {
+		return e, err
+	}
+	switch strings.ToLower(s.Routing) {
+	case "", "xy":
+		e.Routing = routing.XY
+	case "yx":
+		e.Routing = routing.YX
+	case "o1turn":
+		e.Routing = routing.O1TURN
+	default:
+		return e, fmt.Errorf("noc: unknown routing %q", s.Routing)
+	}
+	switch strings.ToLower(s.VA) {
+	case "", "dynamic":
+		e.Policy = vcalloc.Dynamic
+	case "static":
+		e.Policy = vcalloc.Static
+	default:
+		return e, fmt.Errorf("noc: unknown VA policy %q", s.VA)
+	}
+	switch strings.ToLower(s.StaticKey) {
+	case "", "destination":
+		e.StaticKey = vcalloc.KeyDestination
+	case "flow":
+		e.StaticKey = vcalloc.KeyFlow
+	default:
+		return e, fmt.Errorf("noc: unknown static key %q", s.StaticKey)
+	}
+	e.NumVCs = s.NumVCs
+	e.BufDepth = s.BufDepth
+	e.Seed = s.Seed
+	e.UseEVC = s.UseEVC
+	e.Warmup = s.Warmup
+	e.Measure = s.Measure
+	return e, nil
+}
+
+// SpecOf renders an experiment back to its spec (for reports).
+func SpecOf(e Experiment) Spec {
+	e = e.defaults()
+	t := e.Topology
+	var topoName string
+	kx, ky := dimsOf(t)
+	if t.Concentration() == 1 && t.Name() == "mesh" {
+		topoName = fmt.Sprintf("mesh%dx%d", kx, ky)
+	} else {
+		topoName = fmt.Sprintf("%s%dx%dx%d", t.Name(), kx, ky, t.Concentration())
+	}
+	s := Spec{
+		Topology: topoName,
+		Scheme:   strings.ToLower(e.Scheme.String()),
+		Routing:  strings.ToLower(e.Routing.String()),
+		VA:       strings.TrimSuffix(e.Policy.String(), "VA"),
+		NumVCs:   e.NumVCs,
+		BufDepth: e.BufDepth,
+		Seed:     e.Seed,
+		UseEVC:   e.UseEVC,
+		Warmup:   e.Warmup,
+		Measure:  e.Measure,
+	}
+	if e.StaticKey == vcalloc.KeyFlow {
+		s.StaticKey = "flow"
+	}
+	return s
+}
+
+func dimsOf(t Topology) (kx, ky int) {
+	type dimser interface{ Dims() (int, int) }
+	if d, ok := t.(dimser); ok {
+		return d.Dims()
+	}
+	// MECS/FBFLY expose their grid through router count and concentration;
+	// assume square (the shapes this package constructs).
+	n := t.Routers()
+	k := 1
+	for k*k < n {
+		k++
+	}
+	return k, n / k
+}
+
+// MarshalJSON round-trips Result for machine-readable CLI output.
+func (s Spec) String() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("Spec{%v}", err)
+	}
+	return string(b)
+}
