@@ -193,11 +193,36 @@ func BenchmarkSimulatorMeshUniform(b *testing.B) {
 	}
 	n := exp.Build()
 	w := exp.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+	n.Run(w, 2000) // reach the zero-alloc steady state before measuring
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(w)
 	}
 	b.ReportMetric(float64(n.Stats.FlitsDelivered)/float64(b.N), "flits/cycle")
+}
+
+// BenchmarkSimulatorNaiveKernel is BenchmarkSimulatorMeshUniform with the
+// active-set scheduler disabled; the ratio of the two is the kernel's
+// speedup at this load.
+func BenchmarkSimulatorNaiveKernel(b *testing.B) {
+	exp := noc.Experiment{
+		Topology:    noc.Mesh(8, 8),
+		Scheme:      noc.PseudoSB,
+		Routing:     noc.XY,
+		Policy:      noc.StaticVA,
+		NaiveKernel: true,
+		Warmup:      100,
+		Measure:     1,
+	}
+	n := exp.Build()
+	w := exp.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+	n.Run(w, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(w)
+	}
 }
 
 func BenchmarkSimulatorCMP(b *testing.B) {
@@ -212,6 +237,8 @@ func BenchmarkSimulatorCMP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	n.Run(w, 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(w)
@@ -230,6 +257,8 @@ func benchScheme(b *testing.B, s noc.Scheme) {
 	}
 	n := exp.Build()
 	w := exp.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+	n.Run(w, 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(w)

@@ -1,0 +1,128 @@
+// Golden determinism tests over the public API: the simulator must produce
+// bit-identical results run-to-run, and the work-proportional kernel must be
+// indistinguishable from the naive tick-every-router reference loop.
+package pseudocircuit_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pseudocircuit/noc"
+)
+
+// TestGoldenDeterminism runs every scheme twice on Mesh(4,4) with
+// uniform-random traffic and asserts identical full result structs. Any
+// hidden dependence on heap layout, pool state or iteration order shows up
+// as a diff here.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, s := range noc.Schemes {
+		s := s
+		t.Run(fmt.Sprint(s), func(t *testing.T) {
+			t.Parallel()
+			run := func() noc.Result {
+				e := noc.Experiment{
+					Topology: noc.Mesh(4, 4),
+					Scheme:   s,
+					Routing:  noc.XY,
+					Policy:   noc.StaticVA,
+					Warmup:   500,
+					Measure:  3000,
+				}
+				return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v: same experiment diverged:\nfirst:  %+v\nsecond: %+v", s, a, b)
+			}
+		})
+	}
+}
+
+// TestNaiveKernelEquivalence checks the NaiveKernel reference loop against
+// the default active-set kernel through the public API, including the EVC
+// comparison router and the closed-loop CMP substrate, whose workloads have
+// idle phases that exercise router deactivation.
+func TestNaiveKernelEquivalence(t *testing.T) {
+	base := noc.Experiment{
+		Topology: noc.Mesh(4, 4),
+		Scheme:   noc.PseudoSB,
+		Routing:  noc.XY,
+		Policy:   noc.StaticVA,
+		Warmup:   500,
+		Measure:  3000,
+	}
+
+	t.Run("synthetic", func(t *testing.T) {
+		t.Parallel()
+		run := func(naive bool) noc.Result {
+			e := base
+			e.NaiveKernel = naive
+			return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+		}
+		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+			t.Errorf("naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
+		}
+	})
+
+	t.Run("evc", func(t *testing.T) {
+		t.Parallel()
+		run := func(naive bool) noc.Result {
+			e := base
+			e.Scheme = noc.Baseline
+			e.UseEVC = true
+			e.NaiveKernel = naive
+			return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+		}
+		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+			t.Errorf("EVC: naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
+		}
+	})
+
+	t.Run("cmp", func(t *testing.T) {
+		t.Parallel()
+		run := func(naive bool) noc.Result {
+			e := base
+			e.Topology = noc.CMesh(4, 4, 4)
+			e.Routing = noc.O1TURN
+			e.Policy = noc.DynamicVA
+			e.NaiveKernel = naive
+			r, err := e.RunCMP("fma3d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+			t.Errorf("CMP: naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
+		}
+	})
+}
+
+// TestPoolReuseDeterminism runs the same experiment twice through one shared
+// pool (the parallel-sweep worker pattern) and once with a private pool; all
+// three must agree — recycled objects must carry no state between runs.
+func TestPoolReuseDeterminism(t *testing.T) {
+	run := func(pool *noc.Pool) noc.Result {
+		e := noc.Experiment{
+			Topology: noc.Mesh(4, 4),
+			Scheme:   noc.PseudoSB,
+			Routing:  noc.XY,
+			Policy:   noc.StaticVA,
+			Pool:     pool,
+			Warmup:   500,
+			Measure:  3000,
+		}
+		return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+	}
+	pool := noc.NewPool()
+	first := run(pool)
+	second := run(pool) // free lists warm from the first run
+	private := run(nil)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("shared pool: warm rerun diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	if !reflect.DeepEqual(first, private) {
+		t.Errorf("shared vs private pool diverged:\nshared:  %+v\nprivate: %+v", first, private)
+	}
+}

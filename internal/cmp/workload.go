@@ -292,10 +292,10 @@ func (w *Workload) issueMiss(now sim.Cycle, c *core, block uint64, inj network.I
 			size = w.cfg.DataFlits // the write carries its data to the bank
 		}
 	}
-	inj.Inject(&flit.Packet{
-		Src: c.node, Dst: bank.node, Size: size, Class: class,
-		Meta: msg{kind: kind, block: block, core: c.id},
-	})
+	pk := network.AcquirePacket(inj)
+	pk.Src, pk.Dst, pk.Size, pk.Class = c.node, bank.node, size, class
+	pk.Meta = msg{kind: kind, block: block, core: c.id}
+	inj.Inject(pk)
 }
 
 // Deliver implements network.Workload: protocol reactions at banks and

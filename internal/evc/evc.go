@@ -109,6 +109,10 @@ type Router struct {
 	Preemptions uint64
 	// ExpressForwards counts one-cycle intermediate bypasses.
 	ExpressForwards uint64
+
+	// worked records that this tick forwarded or traversed a flit; see
+	// Tick.
+	worked bool
 }
 
 // New builds an EVC router on mesh with numEVCs express VCs (paper: 2).
@@ -204,8 +208,12 @@ func (r *Router) expressCapable(out, dst int) bool {
 	return false
 }
 
-// Tick implements network.Node.
-func (r *Router) Tick(now sim.Cycle) {
+// Tick implements network.Node. The boolean reports whether the router must
+// be ticked again next cycle (see network.Node); an EVC router with no
+// pending traversals, buffered flits, or in-flight packets holds no other
+// cycle-dependent state, so it is at a fixed point until the next delivery.
+func (r *Router) Tick(now sim.Cycle) bool {
+	r.worked = false
 	r.expressPass(now)
 	r.executeReservations(now)
 	r.admitHeads()
@@ -214,6 +222,23 @@ func (r *Router) Tick(now sim.Cycle) {
 	r.switchArbitrate()
 	r.processArrivals(now)
 	r.res, r.nextRes = r.nextRes, r.res[:0]
+	return r.worked || r.holdsFlits()
+}
+
+// holdsFlits reports pending traversals, buffered flits, or an in-flight
+// packet owning a VC.
+func (r *Router) holdsFlits() bool {
+	if len(r.res) > 0 {
+		return true
+	}
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			if vs.active || len(vs.buf) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // expressPass forwards arriving express flits through the latch in their
@@ -238,6 +263,7 @@ func (r *Router) expressPass(now sim.Cycle) {
 		f.ExpressHops--
 		f.Packet.Hops++
 		r.ExpressForwards++
+		r.worked = true
 		r.cfg.Stats.Traversals++
 		r.cfg.Energy.AddTraversal()
 		r.cfg.Send(r.ID, out, f)
@@ -423,6 +449,7 @@ func (r *Router) popBuffer(in, vc int) {
 }
 
 func (r *Router) traverse(in, vc, out int, f *flit.Flit) {
+	r.worked = true
 	vs := r.in[in].vcs[vc]
 	op := r.out[out]
 	r.cfg.Stats.Traversals++

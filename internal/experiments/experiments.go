@@ -97,14 +97,16 @@ func norm(v float64) string { return fmt.Sprintf("%.3f", v) }
 // concentrated mesh with 2 cores + 2 L2 banks per router.
 func cmpTopology() noc.Topology { return topology.NewCMesh(4, 4, 4) }
 
-// cmpExperiment builds the standard CMP-platform experiment.
-func cmpExperiment(o Options, s core.Scheme, algo routing.Algorithm, pol vcalloc.Policy) noc.Experiment {
+// cmpExperiment builds the standard CMP-platform experiment. pool (may be
+// nil) is the worker-local flit pool from forEach.
+func cmpExperiment(o Options, pool *noc.Pool, s core.Scheme, algo routing.Algorithm, pol vcalloc.Policy) noc.Experiment {
 	return noc.Experiment{
 		Topology: cmpTopology(),
 		Scheme:   s,
 		Routing:  algo,
 		Policy:   pol,
 		Seed:     o.Seed,
+		Pool:     pool,
 		Warmup:   o.Warmup,
 		Measure:  o.Measure,
 	}
@@ -113,8 +115,8 @@ func cmpExperiment(o Options, s core.Scheme, algo routing.Algorithm, pol vcalloc
 // baseline runs the no-scheme reference for a routing/VA combination.
 // The paper's headline comparison (§6.A) uses O1TURN with dynamic VA,
 // "which provides the best performance in the baseline system".
-func baseline(o Options, benchmark string, algo routing.Algorithm, pol vcalloc.Policy) noc.Result {
-	r, err := cmpExperiment(o, core.Baseline, algo, pol).RunCMP(benchmark)
+func baseline(o Options, pool *noc.Pool, benchmark string, algo routing.Algorithm, pol vcalloc.Policy) noc.Result {
+	r, err := cmpExperiment(o, pool, core.Baseline, algo, pol).RunCMP(benchmark)
 	if err != nil {
 		panic(err)
 	}

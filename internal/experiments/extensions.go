@@ -43,7 +43,7 @@ func SystemImpact(o Options) SystemImpactResult {
 }
 
 func runSystem(o Options, benchmark string, s core.Scheme) (missLat, stall float64) {
-	e := cmpExperiment(o, s, routing.XY, vcalloc.Static)
+	e := cmpExperiment(o, nil, s, routing.XY, vcalloc.Static)
 	n := e.Build()
 	wl, err := e.CMPWorkload(benchmark)
 	if err != nil {
@@ -95,7 +95,7 @@ func SpecDepth(o Options) SpecDepthResult {
 	res.Latency = make([]float64, len(res.Depths))
 	res.Reuse = make([]float64, len(res.Depths))
 	res.SpecShare = make([]float64, len(res.Depths))
-	forEach(len(res.Depths), func(di int) {
+	forEach(len(res.Depths), func(di int, pool *noc.Pool) {
 		opts := core.DefaultOptions(core.PseudoSB)
 		opts.SpecHistoryDepth = res.Depths[di]
 		nb := float64(len(o.Benchmarks))
@@ -107,6 +107,7 @@ func SpecDepth(o Options) SpecDepthResult {
 				Routing:  routing.XY,
 				Policy:   vcalloc.Static,
 				Seed:     o.Seed,
+				Pool:     pool,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
 			}

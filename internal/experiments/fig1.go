@@ -4,6 +4,7 @@ import (
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
 )
 
 // Fig1Result holds per-benchmark communication temporal locality (paper
@@ -29,8 +30,8 @@ func Fig1(o Options) Fig1Result {
 		E2E:        make([]float64, len(o.Benchmarks)),
 		Xbar:       make([]float64, len(o.Benchmarks)),
 	}
-	forEach(len(o.Benchmarks), func(i int) {
-		r := mustRunCMP(cmpExperiment(o, core.Baseline, routing.XY, vcalloc.Dynamic), o.Benchmarks[i])
+	forEach(len(o.Benchmarks), func(i int, pool *noc.Pool) {
+		r := mustRunCMP(cmpExperiment(o, pool, core.Baseline, routing.XY, vcalloc.Dynamic), o.Benchmarks[i])
 		res.E2E[i] = r.E2ELocality
 		res.Xbar[i] = r.XbarLocality
 	})

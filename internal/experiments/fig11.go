@@ -6,6 +6,7 @@ import (
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
 )
 
 // Fig11Result holds normalized router energy consumption per benchmark and
@@ -34,12 +35,12 @@ func Fig11(o Options) Fig11Result {
 		algo := algo
 		res.Avg[ai] = make([]float64, len(core.Schemes))
 		res.Normalized[ai] = make([][]float64, len(o.Benchmarks))
-		forEach(len(o.Benchmarks), func(bi int) {
+		forEach(len(o.Benchmarks), func(bi int, pool *noc.Pool) {
 			b := o.Benchmarks[bi]
 			row := make([]float64, len(core.Schemes))
 			var basePerFlit float64
 			for si, s := range core.Schemes {
-				r := mustRunCMP(cmpExperiment(o, s, algo, vcalloc.Static), b)
+				r := mustRunCMP(cmpExperiment(o, pool, s, algo, vcalloc.Static), b)
 				perFlit := r.EnergyPJ / float64(maxU64(r.FlitsDelivered, 1))
 				if si == 0 {
 					basePerFlit = perFlit

@@ -53,7 +53,7 @@ func Fig12(o Options) Fig12Result {
 		for si := range core.Schemes {
 			lat[si] = make([]float64, len(pc.loads))
 		}
-		forEach(len(core.Schemes)*len(pc.loads), func(k int) {
+		forEach(len(core.Schemes)*len(pc.loads), func(k int, pool *noc.Pool) {
 			si, li := k/len(pc.loads), k%len(pc.loads)
 			e := noc.Experiment{
 				Topology: topology.NewMesh(8, 8),
@@ -61,6 +61,7 @@ func Fig12(o Options) Fig12Result {
 				Routing:  routing.XY,
 				Policy:   vcalloc.Static,
 				Seed:     o.Seed,
+				Pool:     pool,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
 			}

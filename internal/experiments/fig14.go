@@ -46,7 +46,7 @@ func Fig14(o Options) Fig14Result {
 		res.Topologies = append(res.Topologies, tc.name)
 		perBench := make([][]float64, len(o.Benchmarks))
 		avg := make([]float64, len(res.Variants))
-		forEach(len(o.Benchmarks), func(bi int) {
+		forEach(len(o.Benchmarks), func(bi int, pool *noc.Pool) {
 			b := o.Benchmarks[bi]
 			run := func(scheme core.Scheme, useEVC bool) float64 {
 				e := noc.Experiment{
@@ -56,6 +56,7 @@ func Fig14(o Options) Fig14Result {
 					Policy:   vcalloc.Dynamic,
 					UseEVC:   useEVC,
 					Seed:     o.Seed,
+					Pool:     pool,
 					Warmup:   o.Warmup,
 					Measure:  o.Measure,
 				}

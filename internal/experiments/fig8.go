@@ -4,6 +4,7 @@ import (
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
 )
 
 // Fig8Result holds overall performance (Fig. 8a: network latency reduction)
@@ -42,13 +43,13 @@ func Fig8(o Options) Fig8Result {
 	}
 	res.Reduction = make([][]float64, len(o.Benchmarks))
 	res.Reuse = make([][]float64, len(o.Benchmarks))
-	forEach(len(o.Benchmarks), func(bi int) {
+	forEach(len(o.Benchmarks), func(bi int, pool *noc.Pool) {
 		b := o.Benchmarks[bi]
-		base := baseline(o, b, routing.O1TURN, vcalloc.Dynamic)
+		base := baseline(o, pool, b, routing.O1TURN, vcalloc.Dynamic)
 		reds := make([]float64, len(fig8Schemes))
 		reuse := make([]float64, len(fig8Schemes))
 		for i, s := range fig8Schemes {
-			r := mustRunCMP(cmpExperiment(o, s, routing.O1TURN, vcalloc.Dynamic), b)
+			r := mustRunCMP(cmpExperiment(o, pool, s, routing.O1TURN, vcalloc.Dynamic), b)
 			reds[i] = 1 - r.AvgNetLatency/base.AvgNetLatency
 			reuse[i] = r.Reusability
 		}

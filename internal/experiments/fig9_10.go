@@ -5,6 +5,7 @@ import (
 
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
 )
 
 // GridResult holds the routing-algorithm × VA-policy sweep behind Fig. 9
@@ -67,12 +68,12 @@ func Fig9And10(o Options) GridResult {
 			cells = append(cells, cell{bi, ci})
 		}
 	}
-	forEach(len(cells), func(k int) {
+	forEach(len(cells), func(k int, pool *noc.Pool) {
 		bi, ci := cells[k].bi, cells[k].ci
 		b, c := o.Benchmarks[bi], gridCombos[ci]
-		base := baseline(o, b, c.algo, c.pol).AvgNetLatency
+		base := baseline(o, pool, b, c.algo, c.pol).AvgNetLatency
 		for si, s := range fig8Schemes {
-			r := mustRunCMP(cmpExperiment(o, s, c.algo, c.pol), b)
+			r := mustRunCMP(cmpExperiment(o, pool, s, c.algo, c.pol), b)
 			res.Reduction[bi][si][ci] = 1 - r.AvgNetLatency/base
 			res.Reuse[bi][si][ci] = r.Reusability
 		}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pseudocircuit/noc"
+)
+
+// runPoint runs one small grid point with the worker-local pool, the way
+// every Fig function does.
+func runPoint(i int, pool *noc.Pool) noc.Result {
+	e := noc.Experiment{
+		Topology: noc.Mesh(4, 4),
+		Scheme:   noc.Schemes[i%len(noc.Schemes)],
+		Routing:  noc.XY,
+		Policy:   noc.StaticVA,
+		Seed:     uint64(1 + i),
+		Pool:     pool,
+		Warmup:   200,
+		Measure:  800,
+	}
+	return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+}
+
+// TestForEachParallelMatchesSequential drives the sweep executor with one
+// worker and with many, sharing each worker's pool across its grid points,
+// and requires identical per-index results. Run under -race this also
+// checks that pool handoff between sequential runs on one worker never
+// crosses goroutines.
+func TestForEachParallelMatchesSequential(t *testing.T) {
+	const n = 16
+	seq := make([]noc.Result, n)
+	forEachN(n, 1, func(i int, pool *noc.Pool) {
+		seq[i] = runPoint(i, pool)
+	})
+	for _, workers := range []int{2, 4, 8} {
+		par := make([]noc.Result, n)
+		forEachN(n, workers, func(i int, pool *noc.Pool) {
+			par[i] = runPoint(i, pool)
+		})
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i], par[i]) {
+				t.Errorf("workers=%d index %d diverged:\nseq: %+v\npar: %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// TestForEachCoversAllIndices guards the executor itself: every index runs
+// exactly once regardless of worker count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 7, 32} {
+		counts := make([]int, 50)
+		var order []int // written only under workers=1
+		forEachN(len(counts), workers, func(i int, pool *noc.Pool) {
+			if pool == nil {
+				t.Fatalf("workers=%d: nil pool for index %d", workers, i)
+			}
+			if workers == 1 {
+				order = append(order, i)
+				counts[i]++
+				return
+			}
+			counts[i]++ // distinct indices: no two workers share a slot
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		if workers == 1 {
+			for k, i := range order {
+				if k != i {
+					t.Errorf("sequential order violated: position %d got index %d", k, i)
+					break
+				}
+			}
+		}
+	}
+}

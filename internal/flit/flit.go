@@ -94,6 +94,10 @@ type Packet struct {
 	// Meta carries workload-level payload (e.g. the CMP substrate's
 	// coherence message); the network never inspects it.
 	Meta any
+
+	// pooled marks packets owned by a Pool; only those re-enter the free
+	// list on recycle.
+	pooled bool
 }
 
 // Flit is the unit of flow control. It carries lookahead routing state:
@@ -124,6 +128,10 @@ type Flit struct {
 	// Timestamps for measurement.
 	InjectedAt sim.Cycle // cycle the header left the source NI queue
 	EnteredNet sim.Cycle // cycle this flit entered the network (link to first router)
+
+	// pooled marks flits owned by a Pool; only those re-enter the free list
+	// on recycle.
+	pooled bool
 }
 
 // String renders a compact debugging description.

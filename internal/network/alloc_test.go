@@ -1,0 +1,55 @@
+package network_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// TestSteadyStateZeroAlloc asserts the tick path is allocation-free once
+// warm: after the pool free lists, NI queues, reassembly maps, delivery ring
+// and histogram buckets have grown to their steady-state footprint, stepping
+// the simulator allocates nothing — every flit and packet comes from the
+// pool and returns to it.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	cfg := network.DefaultConfig(topo)
+	cfg.Opts = core.DefaultOptions(core.PseudoSB)
+	cfg.Algorithm = routing.XY
+	cfg.Policy = vcalloc.Static
+	n := network.New(cfg)
+	w := traffic.NewSynthetic(traffic.Config{
+		Pattern: traffic.UniformRandom, Nodes: topo.Nodes(), Rate: 0.10,
+	}, sim.NewRNG(7))
+
+	// Warm up well past the stats reset so every growable structure has
+	// reached its working-set size.
+	n.Run(w, 2000)
+	n.ResetStats()
+	n.Run(w, 2000)
+
+	// Growable structures (histogram buckets, map buckets, slice
+	// capacities) approach their working set asymptotically: rare latency
+	// excursions still add a bucket early on. Require the alloc rate to
+	// decay to exactly zero within a few trials — steady state must be
+	// allocation-free, not merely cheap.
+	const stepsPerRun = 100
+	var avg float64
+	for trial := 0; trial < 8; trial++ {
+		avg = testing.AllocsPerRun(20, func() {
+			for i := 0; i < stepsPerRun; i++ {
+				n.Step(w)
+			}
+		})
+		if avg == 0 {
+			return
+		}
+	}
+	t.Errorf("steady-state Step still allocates after warmup: %.2f allocs per %d steps (want 0)", avg, stepsPerRun)
+}

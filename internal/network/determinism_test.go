@@ -1,0 +1,148 @@
+package network_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// buildKernel builds a network with the kernel selected by naive, invariant
+// checking on, and everything else from the grid point.
+func buildKernel(topo topology.Topology, scheme core.Scheme, algo routing.Algorithm, pol vcalloc.Policy, naive bool) *network.Network {
+	cfg := network.DefaultConfig(topo)
+	cfg.Opts = core.DefaultOptions(scheme)
+	cfg.Algorithm = algo
+	cfg.Policy = pol
+	cfg.Naive = naive
+	n := network.New(cfg)
+	n.CheckInvariants = true
+	return n
+}
+
+// TestActiveSetMatchesNaive is the determinism harness for the
+// work-proportional kernel: for each scheme × topology × workload grid
+// point, run the naive reference loop (tick every router every cycle) and
+// the active-set kernel with the same seed and require bit-identical
+// statistics, energy counters and latency histograms.
+func TestActiveSetMatchesNaive(t *testing.T) {
+	type grid struct {
+		name    string
+		topo    func() topology.Topology
+		scheme  core.Scheme
+		algo    routing.Algorithm
+		pol     vcalloc.Policy
+		pattern traffic.Pattern
+		rate    float64
+	}
+	var cases []grid
+	// All five schemes on the mesh with uniform-random traffic.
+	for _, s := range core.Schemes {
+		cases = append(cases, grid{
+			name:    fmt.Sprintf("mesh/%v/uniform", s),
+			topo:    func() topology.Topology { return topology.NewMesh(4, 4) },
+			scheme:  s,
+			algo:    routing.XY,
+			pol:     vcalloc.Static,
+			pattern: traffic.UniformRandom,
+			rate:    0.10,
+		})
+	}
+	// The full scheme on every topology, with patterns and configurations
+	// that exercise O1TURN classes, dynamic VA and bursty hotspot arrivals.
+	cases = append(cases,
+		grid{
+			name:    "mesh/psb/transpose-o1turn",
+			topo:    func() topology.Topology { return topology.NewMesh(4, 4) },
+			scheme:  core.PseudoSB,
+			algo:    routing.O1TURN,
+			pol:     vcalloc.Dynamic,
+			pattern: traffic.BitPermutation,
+			rate:    0.12,
+		},
+		grid{
+			name:    "cmesh/psb/uniform",
+			topo:    func() topology.Topology { return topology.NewCMesh(3, 3, 4) },
+			scheme:  core.PseudoSB,
+			algo:    routing.XY,
+			pol:     vcalloc.Static,
+			pattern: traffic.UniformRandom,
+			rate:    0.08,
+		},
+		grid{
+			name:    "mecs/psb/hotspot",
+			topo:    func() topology.Topology { return topology.NewMECS(3, 3, 2) },
+			scheme:  core.PseudoSB,
+			algo:    routing.XY,
+			pol:     vcalloc.Static,
+			pattern: traffic.Hotspot,
+			rate:    0.06,
+		},
+		grid{
+			name:    "fbfly/pseudo/bitcomp",
+			topo:    func() topology.Topology { return topology.NewFBFly(3, 3, 2) },
+			scheme:  core.Pseudo,
+			algo:    routing.XY,
+			pol:     vcalloc.Dynamic,
+			pattern: traffic.BitComplement,
+			rate:    0.08,
+		},
+	)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(naive bool) *network.Network {
+				topo := tc.topo()
+				n := buildKernel(topo, tc.scheme, tc.algo, tc.pol, naive)
+				w := traffic.NewSynthetic(traffic.Config{
+					Pattern: tc.pattern, Nodes: topo.Nodes(), Rate: tc.rate,
+					HotspotNode: 0, HotspotFrac: 0.3,
+				}, sim.NewRNG(42))
+				// Split the run so a mid-run stats reset (the warmup
+				// protocol) is covered too.
+				n.Run(w, 500)
+				n.ResetStats()
+				n.Run(w, 2500)
+				return n
+			}
+			naive, fast := run(true), run(false)
+			if !reflect.DeepEqual(naive.Stats, fast.Stats) {
+				t.Errorf("stats diverge between naive and active-set kernels:\nnaive: %+v\nfast:  %+v", naive.Stats, fast.Stats)
+			}
+			if !reflect.DeepEqual(naive.Energy, fast.Energy) {
+				t.Errorf("energy diverges between naive and active-set kernels:\nnaive: %+v\nfast:  %+v", naive.Energy, fast.Energy)
+			}
+		})
+	}
+}
+
+// TestActiveSetMatchesNaiveFlows covers deterministic flows (multi-flit
+// packets on fixed paths with idle gaps — the workload most likely to
+// expose a router deactivating too early).
+func TestActiveSetMatchesNaiveFlows(t *testing.T) {
+	run := func(naive bool) *network.Network {
+		n := buildKernel(topology.NewMesh(4, 4), core.PseudoSB, routing.XY, vcalloc.Static, naive)
+		w := traffic.NewFlows(
+			traffic.Flow{Src: 0, Dst: 15, Size: 5, Period: 37, Start: 3},
+			traffic.Flow{Src: 5, Dst: 6, Size: 1, Period: 113, Start: 50},
+			traffic.Flow{Src: 12, Dst: 3, Size: 5, Period: 61, Start: 10},
+		)
+		n.Run(w, 2000)
+		return n
+	}
+	naive, fast := run(true), run(false)
+	if !reflect.DeepEqual(naive.Stats, fast.Stats) {
+		t.Errorf("stats diverge on flows:\nnaive: %+v\nfast:  %+v", naive.Stats, fast.Stats)
+	}
+	if !reflect.DeepEqual(naive.Energy, fast.Energy) {
+		t.Errorf("energy diverges on flows:\nnaive: %+v\nfast:  %+v", naive.Energy, fast.Energy)
+	}
+}

@@ -7,6 +7,13 @@
 // The simulator is fully deterministic for a given seed, and all
 // cross-router effects are latched with at least one cycle of latency, so
 // routers tick in a fixed order without affecting results.
+//
+// The cycle kernel is work-proportional: an active-set scheduler visits only
+// routers that hold state or received a flit/credit this cycle (idle routers
+// are provably at a fixed point, so skipping their ticks is bit-identical to
+// the naive all-routers loop — Config.Naive selects that loop for the
+// determinism harness), and a per-network flit/packet free list recycles
+// delivered flits so the steady-state tick path performs no allocations.
 package network
 
 import (
@@ -46,10 +53,32 @@ type Injector interface {
 	Inject(p *flit.Packet)
 }
 
+// PacketSource is implemented by injectors that hand out pooled packets.
+// Packets obtained this way are recycled by the network after
+// Workload.Deliver returns, so workloads must not retain them.
+type PacketSource interface {
+	NewPacket() *flit.Packet
+}
+
+// AcquirePacket returns a zeroed packet to fill and pass to inj.Inject:
+// pooled (allocation-free in steady state) when the injector supports it,
+// freshly allocated otherwise.
+func AcquirePacket(inj Injector) *flit.Packet {
+	if ps, ok := inj.(PacketSource); ok {
+		return ps.NewPacket()
+	}
+	return &flit.Packet{}
+}
+
 // Node is the router-side interface the network drives; implemented by the
 // standard (pseudo-circuit-capable) router and by the EVC comparison router.
 type Node interface {
-	Tick(now sim.Cycle)
+	// Tick advances the router one cycle and reports whether it must be
+	// ticked again next cycle. A false return promises the router is at a
+	// fixed point: absent new deliveries, further ticks would neither change
+	// its state nor touch any statistics or energy counter, so the network's
+	// active-set scheduler may skip it until the next Deliver/DeliverCredit.
+	Tick(now sim.Cycle) bool
 	Deliver(in int, f *flit.Flit)
 	DeliverCredit(out, vc int)
 	MarkEjection(out int)
@@ -77,6 +106,16 @@ type Config struct {
 	// NIVCLimit restricts injection to VCs [0, NIVCLimit) when positive;
 	// the EVC configuration reserves the upper VCs for express paths.
 	NIVCLimit int
+	// Pool supplies the flit/packet free list; nil builds a private one.
+	// Sharing a pool across sequentially executed networks (one experiment
+	// worker) carries warmed free lists between runs. A pool must never be
+	// shared by concurrently running networks.
+	Pool *flit.Pool
+	// Naive disables the active-set scheduler: every router is ticked every
+	// cycle, as the seed simulator did. Results are bit-identical either
+	// way (the determinism harness asserts this); the naive kernel exists
+	// as the reference for that comparison.
+	Naive bool
 }
 
 // DefaultConfig returns the paper's network configuration (§5) on the given
@@ -131,6 +170,13 @@ type Network struct {
 	nextID   uint64
 	inFlight int // packets injected but not yet fully ejected
 
+	pool *flit.Pool
+	// active marks routers the scheduler must tick this cycle: set on any
+	// flit/credit delivery, cleared when the router's Tick reports it
+	// reached a fixed point. naive bypasses the active set entirely.
+	active []bool
+	naive  bool
+
 	// CheckInvariants enables per-cycle router invariant checking (tests).
 	CheckInvariants bool
 }
@@ -153,6 +199,10 @@ func New(cfg Config) *Network {
 			WithStaticKey(cfg.StaticKey)
 	}
 
+	pool := cfg.Pool
+	if pool == nil {
+		pool = flit.NewPool()
+	}
 	n := &Network{
 		cfg:     cfg,
 		topo:    t,
@@ -162,6 +212,9 @@ func New(cfg Config) *Network {
 		Stats:   &stats.Network{},
 		Energy:  energy.NewMeter(),
 		rng:     sim.NewRNG(cfg.Seed),
+		pool:    pool,
+		active:  make([]bool, t.Routers()),
+		naive:   cfg.Naive,
 	}
 
 	// Ring sized for the largest link latency plus slack.
@@ -268,6 +321,10 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 // InFlight returns the number of injected-but-undelivered packets.
 func (n *Network) InFlight() int { return n.inFlight }
 
+// NewPacket implements PacketSource: it returns a pooled packet that the
+// network will recycle after the delivering Workload.Deliver returns.
+func (n *Network) NewPacket() *flit.Packet { return n.pool.NewPacket() }
+
 // Inject implements Injector: it enqueues p at its source NI.
 func (n *Network) Inject(p *flit.Packet) {
 	if p.Src < 0 || p.Src >= len(n.nis) || p.Dst < 0 || p.Dst >= len(n.nis) {
@@ -327,35 +384,60 @@ func (n *Network) schedule(latency int, d delivery) {
 
 // Step advances the simulation one cycle.
 func (n *Network) Step(w Workload) {
-	// 1. Deliver flits and credits due now.
+	// 1. Deliver flits and credits due now; every delivery (re)activates
+	// its target router. A schedule always targets a future ring slot
+	// (latency >= 1, < len(ring)), so the slot's backing array can be
+	// reused once drained.
 	slot := int(n.now) % len(n.ring)
 	due := n.ring[slot]
-	n.ring[slot] = nil
 	for _, d := range due {
 		switch {
 		case d.flit != nil && d.router >= 0:
 			n.routers[d.router].Deliver(d.port, d.flit)
+			n.active[d.router] = true
 		case d.flit != nil:
 			n.nis[d.port].receive(n.now, d.flit, w)
 		case d.router >= 0:
 			n.routers[d.router].DeliverCredit(d.port, d.vc)
+			n.active[d.router] = true
 		default:
 			n.nis[d.port].credit(d.vc)
 		}
 	}
-	// 2. Workload generates traffic; NIs inject (one flit per node per
-	// cycle).
+	n.ring[slot] = due[:0]
+	// 2. Workload generates traffic; busy NIs inject (one flit per node per
+	// cycle). An NI with no queued work is skipped — the check mirrors
+	// inject's own early return, so skipping is behaviour-preserving.
 	if w != nil {
 		w.Tick(n.now, n)
 	}
 	for _, s := range n.nis {
+		if s.cur == nil && len(s.queue) == 0 {
+			continue
+		}
 		s.inject(n.now)
 	}
-	// 3. Routers tick.
-	for _, r := range n.routers {
-		r.Tick(n.now)
-		if n.CheckInvariants {
-			r.CheckInvariants()
+	// 3. Routers tick: all of them under the naive reference kernel, only
+	// the active set otherwise. Both orders are ascending router ID, so the
+	// kernels are interchangeable cycle for cycle.
+	if n.naive {
+		for _, r := range n.routers {
+			r.Tick(n.now)
+			if n.CheckInvariants {
+				r.CheckInvariants()
+			}
+		}
+	} else {
+		for id, r := range n.routers {
+			if !n.active[id] {
+				continue
+			}
+			if !r.Tick(n.now) {
+				n.active[id] = false
+			}
+			if n.CheckInvariants {
+				r.CheckInvariants()
+			}
 		}
 	}
 	n.now++

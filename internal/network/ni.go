@@ -17,11 +17,12 @@ type ni struct {
 	router int
 	inPort int
 
-	queue []*flit.Packet
-	cur   []*flit.Flit // flits of the packet being injected
-	idx   int
-	class int // routing class of the current packet
-	outVC int // VC allocated for the current packet, -1 while VA pending
+	queue  []*flit.Packet
+	cur    []*flit.Flit // flits of the packet being injected
+	curBuf []*flit.Flit // backing storage for cur, reused across packets
+	idx    int
+	class  int // routing class of the current packet
+	outVC  int // VC allocated for the current packet, -1 while VA pending
 
 	busy    []bool // our view of router input VC occupancy
 	credits []int
@@ -74,12 +75,16 @@ func (s *ni) inject(now sim.Cycle) {
 		}
 		p := s.queue[0]
 		s.queue = s.queue[:copy(s.queue, s.queue[1:])]
-		s.cur = flit.Split(p)
+		s.cur = s.net.pool.SplitInto(s.curBuf[:0], p)
+		s.curBuf = s.cur
 		s.idx = 0
 		s.class = s.net.engine.ClassFor(s.rng)
 		s.outVC = -1
 	}
-	p := s.cur[0].Packet
+	// Read the packet through the next unsent flit: earlier flits may
+	// already have been delivered and recycled (their Packet pointer zeroed)
+	// while this NI is still draining the rest of the packet.
+	p := s.cur[s.idx].Packet
 	if s.outVC < 0 {
 		v := s.net.niAlloc.Pick(p.Src, p.Dst, s.class, s.busy, s.credits)
 		if v < 0 {
@@ -120,12 +125,15 @@ func (s *ni) credit(vc int) {
 }
 
 // receive accepts an ejected flit, reassembling packets and recording
-// delivery statistics when the last flit arrives.
+// delivery statistics when the last flit arrives. Ejected flits are recycled
+// into the network's pool immediately; the packet is recycled after the
+// workload has seen the delivery.
 func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
 	p := f.Packet
 	if p.Dst != s.node {
 		panic(fmt.Sprintf("ni %d: misdelivered flit %v", s.node, f))
 	}
+	s.net.pool.RecycleFlit(f)
 	s.rx[p.ID]++
 	if s.rx[p.ID] < p.Size {
 		return
@@ -140,4 +148,5 @@ func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
 	if w != nil {
 		w.Deliver(now, p)
 	}
+	s.net.pool.RecyclePacket(p)
 }

@@ -145,6 +145,148 @@ func fuzzRouter(t *testing.T, opts core.Options, cycles int, rng *sim.RNG) {
 	_ = streams
 }
 
+// FuzzCreditStarvation drives the full Pseudo+S+B router (pseudo-circuit
+// reuse, speculation, buffer bypass, termination on zero credit) while the
+// fuzzer plays a hostile downstream: the starve bitstream dictates windows
+// during which sent flits earn no credits back, forcing output VCs to zero
+// credit mid-packet. That is exactly the regime where pseudo-circuits must
+// terminate (§4.A) and buffer bypass must shut off, and where a
+// work-proportional router is most tempted to go idle while it still holds
+// state. After the schedule ends all withheld credits are released and the
+// router must drain to quiescence with every flit accounted for, in order.
+func FuzzCreditStarvation(f *testing.F) {
+	f.Add(uint64(1), []byte{0xff, 0x00, 0x3c})
+	f.Add(uint64(7), []byte{0xaa, 0x55, 0xaa, 0x55})
+	f.Add(uint64(42), []byte{})
+	f.Add(uint64(9000), []byte{0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, seed uint64, starve []byte) {
+		if len(starve) > 64 {
+			starve = starve[:64]
+		}
+		opts := core.DefaultOptions(core.PseudoSB)
+		// Derive the termination ablation from the input so the corpus
+		// explores both sides of the zero-credit policy.
+		opts.TerminateOnZeroCredit = seed%2 == 0
+		rng := sim.NewRNG(seed | 1)
+		h := newHarness(t, opts)
+
+		starving := func(cy int) bool {
+			if len(starve) == 0 {
+				return false
+			}
+			b := starve[(cy/8)%len(starve)]
+			return b>>(uint(cy)%8)&1 == 1
+		}
+
+		type pending struct {
+			fs  []*flit.Flit
+			in  int
+			idx int
+		}
+		active := map[[2]int]*pending{}
+		avail := map[[2]int]int{}
+		for in := 0; in < 4; in++ {
+			for vc := 0; vc < 4; vc++ {
+				avail[[2]int{in, vc}] = 4
+			}
+		}
+		received := map[uint64]int{}
+		var withheld []sentFlit // credits the downstream is sitting on
+		nextID := uint64(1)
+		injected, seqErr := 0, false
+
+		inject := func() {
+			usedPort := map[int]bool{}
+			for key, st := range active {
+				vc := st.fs[st.idx].VC
+				if usedPort[st.in] || avail[[2]int{st.in, vc}] == 0 {
+					continue
+				}
+				usedPort[st.in] = true
+				avail[[2]int{st.in, vc}]--
+				h.r.Deliver(st.in, st.fs[st.idx])
+				st.idx++
+				injected++
+				if st.idx == len(st.fs) {
+					delete(active, key)
+				}
+			}
+		}
+		// reflect checks ordering and reflects credits, withholding the
+		// downstream ones while starved.
+		reflect := func(starved bool) {
+			for ; h.credited < len(h.sent); h.credited++ {
+				s := h.sent[h.credited]
+				received[s.f.Packet.ID]++
+				if s.f.Seq != received[s.f.Packet.ID]-1 {
+					seqErr = true
+				}
+				if s.out == 4 {
+					continue // ejection port: no credit loop
+				}
+				if starved {
+					withheld = append(withheld, s)
+				} else {
+					h.r.DeliverCredit(s.out, s.f.VC)
+				}
+			}
+			if !starved {
+				for _, s := range withheld {
+					h.r.DeliverCredit(s.out, s.f.VC)
+				}
+				withheld = withheld[:0]
+			}
+			for _, c := range h.credits {
+				avail[[2]int{c.in, c.vc}]++
+			}
+			h.credits = h.credits[:0]
+		}
+
+		for cy := 0; cy < 1500; cy++ {
+			if rng.Bernoulli(0.5) {
+				in, vc := rng.Intn(4), rng.Intn(4)
+				key := [2]int{in, vc}
+				if active[key] == nil {
+					p := &flit.Packet{ID: nextID, Src: 0, Dst: 1, Size: 1 + rng.Intn(5)}
+					nextID++
+					fs := flit.Split(p)
+					out := rng.Intn(5)
+					for _, f := range fs {
+						f.VC = vc
+						f.NextOut = out
+					}
+					active[key] = &pending{fs: fs, in: in}
+				}
+			}
+			inject()
+			h.tick()
+			reflect(starving(cy))
+		}
+		// Release every credit, finish partially injected packets, drain.
+		for i := 0; i < 3000 && len(active) > 0; i++ {
+			inject()
+			h.tick()
+			reflect(false)
+		}
+		for i := 0; i < 1000 && len(h.sent) < injected; i++ {
+			h.tick()
+			reflect(false)
+		}
+		if len(h.sent) != injected {
+			t.Fatalf("conservation violated under starvation schedule: %d in, %d out", injected, len(h.sent))
+		}
+		if seqErr {
+			t.Fatal("flits reordered within a packet")
+		}
+		if len(active) > 0 {
+			t.Fatalf("%d packets never finished injection after credits released", len(active))
+		}
+		if !h.r.Quiescent() {
+			t.Fatal("router not quiescent after starvation release and drain")
+		}
+	})
+}
+
 // reflect processes new sends: reassembly/order checks, downstream credit
 // reflection, and upstream credit bookkeeping from the router's Credit
 // callback (recorded in h.credits).

@@ -150,6 +150,14 @@ type Router struct {
 	// outSends counts flits per output port over the router's lifetime
 	// (link-utilization diagnostics).
 	outSends []uint64
+
+	// worked records that this tick mutated router state beyond the buffers
+	// the active-set scan below can see: a crossbar traversal (which
+	// rewrites pseudo-circuit registers and histories even when the flit
+	// leaves the router empty) or a pseudo-circuit termination/speculation.
+	// Any such event may enable further work next cycle, so the router must
+	// stay scheduled one more tick to reach its fixed point.
+	worked bool
 }
 
 // New constructs a router with the given input and output radix. Ejection
@@ -223,8 +231,12 @@ func (r *Router) DeliverCredit(out, vc int) {
 	}
 }
 
-// Tick advances the router by one cycle.
-func (r *Router) Tick(now sim.Cycle) {
+// Tick advances the router by one cycle. It reports whether the router must
+// be ticked again next cycle; false means this tick was a no-op apart from
+// clearing scratch state and, absent new deliveries, every later tick would
+// be too (the active-set fixed point).
+func (r *Router) Tick(now sim.Cycle) bool {
+	r.worked = false
 	r.executeReservations(now)
 	r.admitHeads()
 	r.allocateVCs(now)
@@ -234,6 +246,23 @@ func (r *Router) Tick(now sim.Cycle) {
 	r.maintainPseudoCircuits()
 	r.processArrivals(now)
 	r.res, r.nextRes = r.nextRes, r.res[:0]
+	return r.worked || r.holdsFlits()
+}
+
+// holdsFlits reports whether any state demands a tick next cycle: pending
+// switch traversals, buffered flits, or an in-flight packet owning a VC.
+func (r *Router) holdsFlits() bool {
+	if len(r.res) > 0 {
+		return true
+	}
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			if vs.active || len(vs.buf) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // executeReservations performs ST for last cycle's SA grants (phase 1) and
@@ -490,6 +519,7 @@ func (r *Router) maintainPseudoCircuits() {
 			if !r.pcHasCredit(in) {
 				in.pc.Terminate()
 				r.cfg.Stats.PCTerminated++
+				r.worked = true
 			}
 		}
 	}
@@ -513,6 +543,7 @@ func (r *Router) maintainPseudoCircuits() {
 		}
 		in.pc.SetSpeculative(vc, o)
 		r.cfg.Stats.PCSpeculated++
+		r.worked = true
 	}
 }
 
@@ -623,6 +654,7 @@ func (r *Router) popBuffer(in *inputPort, vc int) {
 // stage. viaPC marks pseudo-circuit reuse; bypass marks buffer bypassing
 // (the flit never occupied the buffer).
 func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, bypass bool) {
+	r.worked = true
 	ip := r.in[in]
 	vs := ip.vcs[vc]
 	op := r.out[out]

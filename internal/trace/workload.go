@@ -31,6 +31,12 @@ func (ri recInjector) Inject(p *flit.Packet) {
 	ri.inj.Inject(p)
 }
 
+// NewPacket forwards pooled-packet acquisition to the wrapped injector, so
+// recording does not reintroduce per-packet allocations.
+func (ri recInjector) NewPacket() *flit.Packet {
+	return network.AcquirePacket(ri.inj)
+}
+
 // Tick implements network.Workload.
 func (r *Recorder) Tick(now sim.Cycle, inj network.Injector) {
 	r.Inner.Tick(now, recInjector{rec: r, inj: inj, now: now})
@@ -87,7 +93,9 @@ func (p *Player) Tick(now sim.Cycle, inj network.Injector) {
 			return
 		}
 		p.idx++
-		inj.Inject(&flit.Packet{Src: r.Src, Dst: r.Dst, Size: r.Size, Class: r.Class})
+		pk := network.AcquirePacket(inj)
+		pk.Src, pk.Dst, pk.Size, pk.Class = r.Src, r.Dst, r.Size, r.Class
+		inj.Inject(pk)
 	}
 }
 

@@ -41,7 +41,9 @@ func (w *Flows) Tick(now sim.Cycle, inj network.Injector) {
 			size = 1
 		}
 		w.sent[i]++
-		inj.Inject(&flit.Packet{Src: f.Src, Dst: f.Dst, Size: size, Class: flit.ClassData})
+		p := network.AcquirePacket(inj)
+		p.Src, p.Dst, p.Size, p.Class = f.Src, f.Dst, size, flit.ClassData
+		inj.Inject(p)
 	}
 }
 

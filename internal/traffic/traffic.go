@@ -102,12 +102,12 @@ func (s *Synthetic) Tick(now sim.Cycle, inj network.Injector) {
 			continue // patterns with fixed points skip self-traffic
 		}
 		s.generated++
-		inj.Inject(&flit.Packet{
-			Src:   node,
-			Dst:   dst,
-			Size:  s.cfg.PacketSize,
-			Class: flit.ClassData,
-		})
+		p := network.AcquirePacket(inj)
+		p.Src = node
+		p.Dst = dst
+		p.Size = s.cfg.PacketSize
+		p.Class = flit.ClassData
+		inj.Inject(p)
 	}
 }
 

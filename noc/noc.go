@@ -25,6 +25,7 @@ import (
 	"pseudocircuit/internal/cmp"
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/evc"
+	"pseudocircuit/internal/flit"
 	"pseudocircuit/internal/network"
 	"pseudocircuit/internal/router"
 	"pseudocircuit/internal/routing"
@@ -113,6 +114,15 @@ type Network = network.Network
 // Workload re-exports the traffic-generation interface.
 type Workload = network.Workload
 
+// Pool re-exports the flit/packet free list. A pool may be shared by
+// sequentially executed experiments (one per worker in a parallel sweep) to
+// carry warmed free lists between runs; it must never be shared by
+// concurrently running networks.
+type Pool = flit.Pool
+
+// NewPool returns an empty flit/packet pool.
+func NewPool() *Pool { return flit.NewPool() }
+
 // Experiment describes one simulation configuration. Zero values select the
 // paper's defaults (4 VCs, 4-flit buffers, 1000-cycle warmup, 10000-cycle
 // measurement, seed 1).
@@ -132,6 +142,14 @@ type Experiment struct {
 	// comparison baseline (§7.B); Scheme must be Baseline and Topology a
 	// mesh/cmesh.
 	UseEVC bool
+	// Pool supplies the network's flit/packet free list; nil builds a
+	// private one. See Pool.
+	Pool *Pool
+	// NaiveKernel disables the active-set scheduler and ticks every router
+	// every cycle (the seed simulator's reference loop). Results are
+	// bit-identical either way; the flag exists for the determinism harness
+	// and kernel benchmarks.
+	NaiveKernel bool
 
 	Warmup  int // warmup cycles before measurement
 	Measure int // measured cycles
@@ -192,6 +210,8 @@ func (e Experiment) Build() *Network {
 		BufDepth:  e.BufDepth,
 		Opts:      core.DefaultOptions(e.Scheme),
 		Seed:      e.Seed,
+		Pool:      e.Pool,
+		Naive:     e.NaiveKernel,
 	}
 	if e.Opts != nil {
 		cfg.Opts = *e.Opts
