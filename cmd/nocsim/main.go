@@ -7,15 +7,23 @@
 //	nocsim -topo mesh8x8 -scheme pseudo+s+b -routing xy -va static \
 //	       -traffic uniform -rate 0.10
 //	nocsim -topo cmesh4x4x4 -scheme baseline -benchmark specjbb
+//	nocsim -topo mesh8x8 -trace out.trace -metrics-out metrics.jsonl
+//	nocsim -validate-trace out.trace
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync"
 
+	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
 	"pseudocircuit/noc"
@@ -37,8 +45,23 @@ func main() {
 		config    = flag.String("config", "", "JSON experiment spec file (overrides the individual flags)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		links     = flag.Int("links", 0, "also print the N most-loaded channels")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event file of flit lifecycle events (load via chrome://tracing or Perfetto)")
+		eventsOut  = flag.String("trace-jsonl", "", "write flit lifecycle events as JSONL")
+		metricsOut = flag.String("metrics-out", "", "write per-router counters, windowed time series, and global totals as JSONL")
+		window     = flag.Int("window", 1000, "time-series window length in cycles (with -metrics-out or -pprof)")
+		traceCap   = flag.Int("trace-cap", 0, "max retained trace events, oldest dropped first (0 = default)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
+
+		valMetrics = flag.String("validate-metrics", "", "validate a metrics JSONL file against the export schema and exit")
+		valEvents  = flag.String("validate-events", "", "validate an event JSONL file against the export schema and exit")
+		valTrace   = flag.String("validate-trace", "", "validate a Chrome trace_event file and exit")
 	)
 	flag.Parse()
+
+	if *valMetrics != "" || *valEvents != "" || *valTrace != "" {
+		validateAndExit(*valMetrics, *valEvents, *valTrace)
+	}
 
 	var exp noc.Experiment
 	if *config != "" {
@@ -66,6 +89,15 @@ func main() {
 		}
 	}
 
+	if *metricsOut != "" || *pprofAddr != "" {
+		exp.Observe.PerRouter = true
+		exp.Observe.Window = *window
+	}
+	if *traceOut != "" || *eventsOut != "" {
+		exp.Observe.Trace = true
+		exp.Observe.TraceCap = *traceCap
+	}
+
 	var w noc.Workload
 	if *benchmark != "" {
 		var err error
@@ -77,7 +109,27 @@ func main() {
 		w = exp.SyntheticWorkload(noc.Synthetic{Pattern: parsePattern(*pattern), Rate: *rate})
 	}
 	n := exp.Build()
-	res := exp.RunOn(n, w)
+
+	var res noc.Result
+	if *pprofAddr != "" {
+		stop := serveDebug(*pprofAddr, n)
+		// Chunk the run so the published expvar snapshot stays fresh; the
+		// callback runs between chunks, never concurrently with Step.
+		res = exp.RunOnObserved(n, w, 1000, stop.update)
+		stop.update(n)
+	} else {
+		res = exp.RunOn(n, w)
+	}
+
+	if *metricsOut != "" {
+		writeFile(*metricsOut, func(w io.Writer) error { return noc.WriteMetricsJSONL(w, n) })
+	}
+	if *eventsOut != "" {
+		writeFile(*eventsOut, n.Tracer().WriteJSONL)
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, n.Tracer().WriteChromeTrace)
+	}
 
 	if *jsonOut {
 		out := struct {
@@ -192,6 +244,92 @@ func parsePattern(s string) noc.Pattern {
 		fatal("unknown traffic pattern %q", s)
 		return noc.UniformRandom
 	}
+}
+
+// validateAndExit checks any of the three export formats and exits; used by
+// CI to assert that emitted files match the documented schemas.
+func validateAndExit(metrics, events, trace string) {
+	check := func(path, kind, unit string, fn func(r io.Reader) (int, error)) {
+		if path == "" {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		count, err := fn(f)
+		if err != nil {
+			fatal("invalid %s file %s: %v", kind, path, err)
+		}
+		fmt.Printf("%s: valid %s (%d %s)\n", path, kind, count, unit)
+	}
+	check(metrics, "metrics", "lines", noc.ValidateMetricsJSONL)
+	check(events, "event", "events", obs.ValidateEventsJSONL)
+	check(trace, "Chrome trace", "trace events", obs.ValidateChromeTrace)
+	os.Exit(0)
+}
+
+// writeFile creates path and streams one export into it.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+}
+
+// debugServer publishes a snapshot of the run's counters under the "nocsim"
+// expvar (alongside the stock expvar/pprof handlers). The snapshot is
+// refreshed between simulation chunks so HTTP reads never race the
+// simulation.
+type debugServer struct {
+	mu   sync.Mutex
+	snap map[string]any
+}
+
+func serveDebug(addr string, n *noc.Network) *debugServer {
+	d := &debugServer{}
+	d.update(n)
+	expvar.Publish("nocsim", expvar.Func(func() any {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.snap
+	}))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "nocsim: debug server: %v\n", err)
+		}
+	}()
+	return d
+}
+
+func (d *debugServer) update(n *noc.Network) {
+	st := n.Stats
+	snap := map[string]any{
+		"measured_from":     int64(st.MeasuredFrom),
+		"measured_to":       int64(st.MeasuredTo),
+		"packets_injected":  st.PacketsInjected,
+		"packets_delivered": st.PacketsDelivered,
+		"flits_delivered":   st.FlitsDelivered,
+		"avg_latency":       st.AvgLatency(),
+		"pc_reused":         st.PCReused,
+		"traversals":        st.Traversals,
+		"bypassed":          st.Bypassed,
+	}
+	if tr := n.Tracer(); tr != nil {
+		snap["trace_events"] = tr.Len()
+		snap["trace_dropped"] = tr.Dropped()
+	}
+	d.mu.Lock()
+	d.snap = snap
+	d.mu.Unlock()
 }
 
 func fatal(format string, args ...any) {

@@ -26,12 +26,13 @@ type tabler interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, ablations, ext-system, ext-load, ext-depth, all")
-		warmup  = flag.Int("warmup", 1000, "warmup cycles")
-		measure = flag.Int("measure", 10000, "measured cycles")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, ablations, heatmap, ext-system, ext-load, ext-depth, all")
+		warmup   = flag.Int("warmup", 1000, "warmup cycles")
+		measure  = flag.Int("measure", 10000, "measured cycles")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		progress = flag.Bool("progress", false, "report live per-grid-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -57,12 +58,13 @@ func main() {
 			return tableOnly{experiments.TableII()}
 		},
 		"ablations":  func() tabler { return experiments.Ablations(o) },
+		"heatmap":    func() tabler { return experiments.RouterHeatmap(o) },
 		"ext-system": func() tabler { return experiments.SystemImpact(o) },
 		"ext-load":   func() tabler { return experiments.ReuseVsLoad(o) },
 		"ext-depth":  func() tabler { return experiments.SpecDepth(o) },
 	}
 
-	order := []string{"table1", "table2", "fig1", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "ablations", "ext-system", "ext-load", "ext-depth"}
+	order := []string{"table1", "table2", "fig1", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "ablations", "heatmap", "ext-system", "ext-load", "ext-depth"}
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -75,6 +77,15 @@ func main() {
 	}
 
 	for _, name := range selected {
+		if *progress {
+			name := name
+			o.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", name, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		r := runners[name]()
 		for _, t := range r.Tables() {
 			if *csv {

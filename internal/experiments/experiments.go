@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/routing"
@@ -24,6 +25,10 @@ type Options struct {
 	Measure    int      // measured cycles (default 10000)
 	Benchmarks []string // benchmark subset for the trace figures (default: all)
 	Seed       uint64   // base seed (default 1)
+	// Progress, when non-nil, is invoked after each completed simulation run
+	// with the number done so far and the total for the experiment. Runs
+	// execute on a worker pool, but calls are serialized.
+	Progress func(done, total int)
 }
 
 func (o Options) defaults() Options {
@@ -88,6 +93,23 @@ func (t *Table) CSV(w io.Writer) {
 
 // schemeLabels are the paper's plot labels.
 var schemeLabels = []string{"Baseline", "Pseudo", "Pseudo+S", "Pseudo+B", "Pseudo+S+B"}
+
+// progress returns a tick function that counts completed runs and reports
+// them through o.Progress. Safe to call from concurrent workers; a nil
+// Progress yields a no-op.
+func (o Options) progress(total int) func() {
+	if o.Progress == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		o.Progress(done, total)
+	}
+}
 
 func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
 func num(v float64) string  { return fmt.Sprintf("%.2f", v) }

@@ -45,6 +45,11 @@ var fig12Patterns = []struct {
 func Fig12(o Options) Fig12Result {
 	o = o.defaults()
 	res := Fig12Result{Schemes: schemeLabels}
+	total := 0
+	for _, pc := range fig12Patterns {
+		total += len(core.Schemes) * len(pc.loads)
+	}
+	tick := o.progress(total)
 	for _, pc := range fig12Patterns {
 		pc := pc
 		res.Patterns = append(res.Patterns, pc.name)
@@ -67,6 +72,7 @@ func Fig12(o Options) Fig12Result {
 			}
 			r := e.RunSynthetic(noc.Synthetic{Pattern: pc.pattern, Rate: pc.loads[li], PacketSize: 5})
 			lat[si][li] = r.AvgLatency
+			tick()
 		})
 		impr := make([]float64, len(core.Schemes))
 		for si := range core.Schemes {

@@ -68,14 +68,18 @@ func Fig9And10(o Options) GridResult {
 			cells = append(cells, cell{bi, ci})
 		}
 	}
+	// Each cell runs 1 baseline + len(fig8Schemes) scheme simulations.
+	tick := o.progress(len(cells) * (1 + len(fig8Schemes)))
 	forEach(len(cells), func(k int, pool *noc.Pool) {
 		bi, ci := cells[k].bi, cells[k].ci
 		b, c := o.Benchmarks[bi], gridCombos[ci]
 		base := baseline(o, pool, b, c.algo, c.pol).AvgNetLatency
+		tick()
 		for si, s := range fig8Schemes {
 			r := mustRunCMP(cmpExperiment(o, pool, s, c.algo, c.pol), b)
 			res.Reduction[bi][si][ci] = 1 - r.AvgNetLatency/base
 			res.Reuse[bi][si][ci] = r.Reusability
+			tick()
 		}
 	})
 	return res

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// HeatmapResult holds per-router observability metrics over a mesh — the
+// spatial view behind the paper's position-dependent reusability claims
+// (Fig. 1 measures locality network-wide; the registry shows where it
+// concentrates). Rendered as KY×KX tables, one cell per router.
+type HeatmapResult struct {
+	KX, KY int
+	Scheme string
+	Rate   float64
+	// Per router (ID = y*KX + x), measured window only.
+	Reuse        []float64 // pseudo-circuit reuse fraction
+	Bypass       []float64 // buffer-bypass fraction
+	CreditStalls []uint64  // credit-stall cycles summed over input ports
+	BufHighWater []int     // deepest VC buffer across input ports
+}
+
+// RouterHeatmap runs the paper's standard mesh configuration (8×8, XY,
+// static VA, Pseudo+S+B, uniform random at the given Fig. 12 low-load point)
+// with the per-router registry enabled and returns the spatial metrics.
+func RouterHeatmap(o Options) HeatmapResult {
+	o = o.defaults()
+	const kx, ky, rate = 8, 8, 0.10
+	e := noc.Experiment{
+		Topology: topology.NewMesh(kx, ky),
+		Scheme:   noc.PseudoSB,
+		Routing:  routing.XY,
+		Policy:   vcalloc.Static,
+		Seed:     o.Seed,
+		Warmup:   o.Warmup,
+		Measure:  o.Measure,
+		Observe:  noc.Observe{PerRouter: true},
+	}
+	n := e.Build()
+	e.RunOn(n, e.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: rate, PacketSize: 5}))
+
+	res := HeatmapResult{
+		KX: kx, KY: ky, Scheme: "Pseudo+S+B", Rate: rate,
+		Reuse:        make([]float64, kx*ky),
+		Bypass:       make([]float64, kx*ky),
+		CreditStalls: make([]uint64, kx*ky),
+		BufHighWater: make([]int, kx*ky),
+	}
+	for _, r := range n.Registry().Routers() {
+		res.Reuse[r.ID] = r.Reusability()
+		res.Bypass[r.ID] = r.BypassRate()
+		res.CreditStalls[r.ID] = r.CreditStallCycles()
+		for i := range r.In {
+			if hw := r.In[i].BufHighWater; hw > res.BufHighWater[r.ID] {
+				res.BufHighWater[r.ID] = hw
+			}
+		}
+	}
+	return res
+}
+
+// Tables renders one KY×KX grid per metric; row y, column x, router y*KX+x.
+func (h HeatmapResult) Tables() []Table {
+	header := make([]string, h.KX+1)
+	header[0] = "y\\x"
+	for x := 0; x < h.KX; x++ {
+		header[x+1] = fmt.Sprintf("x=%d", x)
+	}
+	grid := func(id, title string, cell func(r int) string) Table {
+		t := Table{ID: id, Title: title, Header: header}
+		for y := 0; y < h.KY; y++ {
+			row := make([]string, h.KX+1)
+			row[0] = fmt.Sprintf("%d", y)
+			for x := 0; x < h.KX; x++ {
+				row[x+1] = cell(y*h.KX + x)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	title := func(metric string) string {
+		return fmt.Sprintf("Per-router %s, %s, UR %.2f on %dx%d mesh", metric, h.Scheme, h.Rate, h.KX, h.KY)
+	}
+	return []Table{
+		grid("heatmap.reuse", title("pseudo-circuit reuse"), func(r int) string { return pct(h.Reuse[r]) }),
+		grid("heatmap.bypass", title("buffer bypass"), func(r int) string { return pct(h.Bypass[r]) }),
+		grid("heatmap.stalls", title("credit-stall cycles"), func(r int) string { return fmt.Sprintf("%d", h.CreditStalls[r]) }),
+		grid("heatmap.bufhwm", title("buffer high-water (flits)"), func(r int) string { return fmt.Sprintf("%d", h.BufHighWater[r]) }),
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/energy"
 	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/router"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/sim"
@@ -116,6 +117,19 @@ type Config struct {
 	// way (the determinism harness asserts this); the naive kernel exists
 	// as the reference for that comparison.
 	Naive bool
+
+	// Observability probes, all opt-in and observation-only: enabling any of
+	// them cannot change simulation results, and leaving them nil (the
+	// default) costs one predictable branch per probe site and zero
+	// allocations.
+	//
+	// Registry collects per-router/per-port counters (standard routers only;
+	// the EVC comparison router does not attach rows). Series collects
+	// cycle-windowed samples of the global counters. Tracer records flit
+	// lifecycle events into a bounded ring.
+	Registry *stats.Registry
+	Series   *stats.Series
+	Tracer   *obs.Tracer
 }
 
 // DefaultConfig returns the paper's network configuration (§5) on the given
@@ -164,6 +178,10 @@ type Network struct {
 	Stats  *stats.Network
 	Energy *energy.Meter
 
+	registry *stats.Registry
+	series   *stats.Series
+	tracer   *obs.Tracer
+
 	now      sim.Cycle
 	ring     [][]delivery // future deliveries, indexed by cycle % len(ring)
 	rng      *sim.RNG
@@ -204,17 +222,20 @@ func New(cfg Config) *Network {
 		pool = flit.NewPool()
 	}
 	n := &Network{
-		cfg:     cfg,
-		topo:    t,
-		engine:  engine,
-		alloc:   alloc,
-		niAlloc: niAlloc,
-		Stats:   &stats.Network{},
-		Energy:  energy.NewMeter(),
-		rng:     sim.NewRNG(cfg.Seed),
-		pool:    pool,
-		active:  make([]bool, t.Routers()),
-		naive:   cfg.Naive,
+		cfg:      cfg,
+		topo:     t,
+		engine:   engine,
+		alloc:    alloc,
+		niAlloc:  niAlloc,
+		Stats:    &stats.Network{},
+		Energy:   energy.NewMeter(),
+		rng:      sim.NewRNG(cfg.Seed),
+		pool:     pool,
+		active:   make([]bool, t.Routers()),
+		naive:    cfg.Naive,
+		registry: cfg.Registry,
+		series:   cfg.Series,
+		tracer:   cfg.Tracer,
 	}
 
 	// Ring sized for the largest link latency plus slack.
@@ -242,6 +263,8 @@ func New(cfg Config) *Network {
 		Stats:    n.Stats,
 		Send:     n.sendFlit,
 		Credit:   n.sendCredit,
+		Reg:      cfg.Registry,
+		Trace:    cfg.Tracer,
 	}
 	factory := cfg.Factory
 	if factory == nil {
@@ -442,6 +465,9 @@ func (n *Network) Step(w Workload) {
 	}
 	n.now++
 	n.Stats.MeasuredTo = n.now
+	if n.series != nil {
+		n.series.Tick(n.now, n.Stats)
+	}
 }
 
 // Run advances the simulation for cycles cycles.
@@ -453,9 +479,16 @@ func (n *Network) Run(w Workload, cycles int) {
 
 // ResetStats begins the measurement phase: statistics and energy counters
 // are cleared; packets injected before this instant no longer count toward
-// latency averages.
+// latency averages. Per-router registry counters are reset at the same
+// instant so they cover exactly the global counters' window, and the time
+// series closes its open warmup window and rebases against the zeroed
+// counters.
 func (n *Network) ResetStats() {
+	if n.series != nil {
+		n.series.Rebase(n.now, n.Stats)
+	}
 	n.Stats.Reset(n.now)
+	n.registry.Reset()
 	n.Energy.Writes, n.Energy.Reads, n.Energy.Traversals, n.Energy.Arbitrations = 0, 0, 0, 0
 }
 
@@ -487,6 +520,16 @@ func (n *Network) Quiescent() bool {
 // RNG exposes the network's deterministic random stream (workloads derive
 // sub-streams from it).
 func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Registry returns the per-router counter registry, nil when that probe is
+// off.
+func (n *Network) Registry() *stats.Registry { return n.registry }
+
+// Series returns the cycle-windowed time series, nil when that probe is off.
+func (n *Network) Series() *stats.Series { return n.series }
+
+// Tracer returns the flit-lifecycle tracer, nil when tracing is off.
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
 
 // Router returns node r (testing hook); for standard networks it is a
 // *router.Router.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/sim"
 )
 
@@ -107,6 +108,13 @@ func (s *ni) inject(now sim.Cycle) {
 	}
 	s.credits[s.outVC]--
 	s.net.schedule(1, delivery{flit: f, router: s.router, port: s.inPort})
+	if tr := s.net.tracer; tr != nil {
+		tr.Record(obs.Event{
+			Cycle: int64(now), Kind: obs.Inject, Packet: p.ID, Seq: int32(f.Seq),
+			Src: int32(p.Src), Dst: int32(p.Dst),
+			Loc: int32(s.node), In: -1, VC: int32(f.VC), Out: int32(f.NextOut),
+		})
+	}
 	s.idx++
 	if s.idx == len(s.cur) {
 		s.busy[s.outVC] = false // tail injected; VC reusable by the next packet
@@ -132,6 +140,13 @@ func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
 	p := f.Packet
 	if p.Dst != s.node {
 		panic(fmt.Sprintf("ni %d: misdelivered flit %v", s.node, f))
+	}
+	if tr := s.net.tracer; tr != nil {
+		tr.Record(obs.Event{
+			Cycle: int64(now), Kind: obs.Eject, Packet: p.ID, Seq: int32(f.Seq),
+			Src: int32(p.Src), Dst: int32(p.Dst),
+			Loc: int32(s.node), In: -1, VC: int32(f.VC), Out: -1,
+		})
 	}
 	s.net.pool.RecycleFlit(f)
 	s.rx[p.ID]++

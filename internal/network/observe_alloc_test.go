@@ -1,0 +1,55 @@
+package network_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/obs"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// TestObservedSteadyStateZeroAlloc is TestSteadyStateZeroAlloc with every
+// observability probe enabled: registry counters, a windowed series, and the
+// lifecycle tracer (small enough to wrap). Probes write into preallocated
+// storage, so the Step path must stay allocation-free even while observing.
+func TestObservedSteadyStateZeroAlloc(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	cfg := network.DefaultConfig(topo)
+	cfg.Opts = core.DefaultOptions(core.PseudoSB)
+	cfg.Algorithm = routing.XY
+	cfg.Policy = vcalloc.Static
+	cfg.Registry = stats.NewRegistry()
+	cfg.Series = stats.NewSeries(100, 8) // ring wraps during the run
+	cfg.Tracer = obs.NewTracer(1 << 10)  // ring wraps during the run
+	n := network.New(cfg)
+	w := traffic.NewSynthetic(traffic.Config{
+		Pattern: traffic.UniformRandom, Nodes: topo.Nodes(), Rate: 0.10,
+	}, sim.NewRNG(7))
+
+	n.Run(w, 2000)
+	n.ResetStats()
+	n.Run(w, 2000)
+	if n.Tracer().Dropped() == 0 {
+		t.Fatal("tracer ring never wrapped; shrink the capacity so the test covers eviction")
+	}
+
+	const stepsPerRun = 100
+	var avg float64
+	for trial := 0; trial < 8; trial++ {
+		avg = testing.AllocsPerRun(20, func() {
+			for i := 0; i < stepsPerRun; i++ {
+				n.Step(w)
+			}
+		})
+		if avg == 0 {
+			return
+		}
+	}
+	t.Errorf("observed Step still allocates after warmup: %.2f allocs per %d steps (want 0)", avg, stepsPerRun)
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// eventJSON is the JSONL wire form of an Event. Every field is always
+// present so the schema is strict and validators can reject unknown fields.
+type eventJSON struct {
+	Cycle int64  `json:"cycle"`
+	Ev    string `json:"ev"`
+	Pkt   uint64 `json:"pkt"`
+	Seq   int32  `json:"seq"`
+	Src   int32  `json:"src"`
+	Dst   int32  `json:"dst"`
+	At    int32  `json:"at"` // router ID, or terminal node for inject/eject
+	In    int32  `json:"in"`
+	VC    int32  `json:"vc"`
+	Out   int32  `json:"out"`
+}
+
+// WriteJSONL writes the tracer's retained events as one JSON object per
+// line, in recording order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		line := eventJSON{
+			Cycle: ev.Cycle, Ev: ev.Kind.String(), Pkt: ev.Packet, Seq: ev.Seq,
+			Src: ev.Src, Dst: ev.Dst, At: ev.Loc, In: ev.In, VC: ev.VC, Out: ev.Out,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateEventsJSONL checks a lifecycle-event JSONL stream against the
+// schema: every line must strictly decode as an eventJSON with a known event
+// name, and cycles must be non-negative and non-decreasing (events are
+// recorded in simulation order). It returns the number of events validated.
+func ValidateEventsJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	last := int64(-1)
+	for sc.Scan() {
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		n++
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var ev eventJSON
+		if err := dec.Decode(&ev); err != nil {
+			return n, fmt.Errorf("event line %d: %v", n, err)
+		}
+		if _, ok := KindByName(ev.Ev); !ok {
+			return n, fmt.Errorf("event line %d: unknown event %q", n, ev.Ev)
+		}
+		if ev.Cycle < 0 {
+			return n, fmt.Errorf("event line %d: negative cycle %d", n, ev.Cycle)
+		}
+		if ev.Cycle < last {
+			return n, fmt.Errorf("event line %d: cycle %d before previous %d", n, ev.Cycle, last)
+		}
+		last = ev.Cycle
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("events: empty stream")
+	}
+	return n, nil
+}
+
+// Chrome trace_event export. One simulated cycle maps to one microsecond of
+// trace time. Router events become complete ("X") slices one cycle long on
+// pid = router ID, tid = input port; NI events become thread-scoped instants
+// on pid = niPidBase + node. Metadata events name each process so
+// chrome://tracing and Perfetto render "router N" / "ni N" lanes.
+const niPidBase = 1 << 20
+
+type chromeArgs struct {
+	Pkt uint64 `json:"pkt"`
+	Seq int32  `json:"seq"`
+	Src int32  `json:"src"`
+	Dst int32  `json:"dst"`
+	VC  int32  `json:"vc"`
+	Out int32  `json:"out"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   int64       `json:"ts"`
+	Dur  int64       `json:"dur,omitempty"`
+	Pid  int64       `json:"pid"`
+	Tid  int64       `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events in Chrome trace_event JSON
+// (the object form: {"traceEvents": [...]}), loadable by chrome://tracing
+// and ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(data)
+		return err
+	}
+	named := map[int64]bool{}
+	for _, ev := range t.Events() {
+		pid := int64(ev.Loc)
+		procName := fmt.Sprintf("router %d", ev.Loc)
+		tid := int64(ev.In)
+		ph, dur, scope := "X", int64(1), ""
+		switch ev.Kind {
+		case Inject, Eject:
+			pid = niPidBase + int64(ev.Loc)
+			procName = fmt.Sprintf("ni %d", ev.Loc)
+			tid = int64(ev.VC)
+			ph, dur, scope = "i", 0, "t"
+		case SAGrant:
+			ph, dur, scope = "i", 0, "t"
+		}
+		if tid < 0 {
+			tid = 0
+		}
+		if !named[pid] {
+			named[pid] = true
+			if err := emit(chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]string{"name": procName},
+			}); err != nil {
+				return err
+			}
+		}
+		if err := emit(chromeEvent{
+			Name: fmt.Sprintf("%s p%d.%d", ev.Kind, ev.Packet, ev.Seq),
+			Ph:   ph, Ts: ev.Cycle, Dur: dur, Pid: pid, Tid: tid, S: scope,
+			Args: chromeArgs{Pkt: ev.Packet, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst, VC: ev.VC, Out: ev.Out},
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChromeTrace checks that a Chrome trace decodes as the trace_event
+// object form with a non-empty traceEvents array whose entries carry the
+// required name/ph/ts/pid fields. It returns the number of trace events.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Pid  *float64 `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("chrome trace: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("chrome trace: no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || ev.Ph == nil || ev.Pid == nil {
+			return i, fmt.Errorf("chrome trace: event %d missing required field", i)
+		}
+		if *ev.Ph != "M" && ev.Ts == nil {
+			return i, fmt.Errorf("chrome trace: event %d missing ts", i)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -1,0 +1,125 @@
+// Package obs is the opt-in flit-lifecycle event tracer: a bounded ring
+// buffer of per-flit pipeline events (inject, buffer write, switch
+// arbitration, switch traversal, buffer bypass, eject) with exporters to
+// JSONL and to Chrome's trace_event format for chrome://tracing / Perfetto.
+//
+// Tracing is observation only — it never feeds back into the simulation, so
+// enabling it cannot perturb results — and the ring is preallocated, so the
+// recording path performs no allocations (the steady-state zero-alloc
+// contract holds with tracing enabled). When the ring fills, the oldest
+// events are evicted and counted in Dropped.
+package obs
+
+// Kind identifies a flit-lifecycle pipeline event.
+type Kind uint8
+
+const (
+	// Inject: a flit left its source NI onto the injection link.
+	Inject Kind = iota
+	// BufWrite: a flit was written into an input VC buffer (BW stage).
+	BufWrite
+	// SAGrant: switch arbitration granted the crossbar to a flit for next
+	// cycle.
+	SAGrant
+	// Traverse: a flit crossed the crossbar (ST stage).
+	Traverse
+	// Bypass: a flit crossed the crossbar directly from the link, skipping
+	// the buffer write (pseudo-circuit buffer bypassing).
+	Bypass
+	// Eject: a flit reached its destination NI.
+	Eject
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"inject", "bw", "sa", "st", "bypass", "eject"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// KindByName resolves an exported event name back to its Kind.
+func KindByName(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded lifecycle event. Loc is the router ID for router
+// events (BufWrite, SAGrant, Traverse, Bypass) and the terminal node for NI
+// events (Inject, Eject). Fields that do not apply carry -1.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Packet uint64
+	Seq    int32 // flit index within its packet
+	Src    int32 // packet source node
+	Dst    int32 // packet destination node
+	Loc    int32 // router ID, or terminal node for Inject/Eject
+	In     int32 // input port at Loc, -1 for NI events
+	VC     int32 // virtual channel on the input side
+	Out    int32 // output port the flit is heading to, -1 when unknown
+}
+
+// Tracer is a bounded ring of Events. A nil *Tracer is the valid "disabled"
+// value; callers guard recording sites with a nil check so the disabled path
+// costs nothing. One simulation owns one tracer; it is not safe for
+// concurrent use.
+type Tracer struct {
+	ring    []Event // grows to cap, then wraps
+	head    int     // index of the oldest event once wrapped
+	dropped uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("obs: tracer capacity must be positive")
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+func (t *Tracer) Record(ev Event) {
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.ring[t.head] = ev
+	t.head = (t.head + 1) % len(t.ring)
+	t.dropped++
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Dropped returns how many events were evicted by the ring bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events in recording order (a copy; safe to
+// keep). Reporting-path only: it allocates.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}

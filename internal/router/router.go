@@ -34,6 +34,7 @@ import (
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/energy"
 	"pseudocircuit/internal/flit"
+	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/sim"
 	"pseudocircuit/internal/stats"
 	"pseudocircuit/internal/vcalloc"
@@ -57,6 +58,11 @@ type Config struct {
 	Stats    *stats.Network
 	Send     SendFunc
 	Credit   CreditFunc
+	// Reg enables per-router/per-port counters when non-nil (observation
+	// only; increments mirror the Stats sites exactly).
+	Reg *stats.Registry
+	// Trace enables flit-lifecycle event recording when non-nil.
+	Trace *obs.Tracer
 }
 
 // vcState tracks the packet currently owning an input VC (wormhole: one
@@ -151,6 +157,13 @@ type Router struct {
 	// (link-utilization diagnostics).
 	outSends []uint64
 
+	// rs is this router's row in the per-router registry (nil when per-router
+	// instrumentation is off) and tr the lifecycle tracer (nil when tracing
+	// is off); both are observation-only and nil in the default configuration,
+	// so the hot path pays one predictable branch each.
+	rs *stats.RouterStats
+	tr *obs.Tracer
+
 	// worked records that this tick mutated router state beyond the buffers
 	// the active-set scan below can see: a crossbar traversal (which
 	// rewrites pseudo-circuit registers and histories even when the flit
@@ -179,6 +192,8 @@ func New(id, inPorts, outPorts int, cfg *Config) *Router {
 		chosen:   make([]int, inPorts),
 		pcCand:   make([]int, inPorts),
 		outSends: make([]uint64, outPorts),
+		rs:       cfg.Reg.Attach(id, inPorts, outPorts),
+		tr:       cfg.Trace,
 	}
 	for i := range r.in {
 		p := &inputPort{
@@ -389,6 +404,9 @@ func (r *Router) classify(now sim.Cycle) {
 			}
 			o := r.out[vs.outPort]
 			if !o.hasCredit(vs.outVC) {
+				if r.rs != nil {
+					r.rs.In[i].CreditStalls++
+				}
 				continue // credit-gated: no request without credit
 			}
 			// A flit matching the input port's connected pseudo-circuit
@@ -478,15 +496,25 @@ func (r *Router) switchArbitrate(now sim.Cycle) {
 		}
 		q := r.reqs[r.chosen[best]]
 		vs := r.in[q.in].vcs[q.vc]
-		r.grant(q, vs)
+		r.grant(now, q, vs)
 	}
-	_ = now
 }
 
-func (r *Router) grant(q saRequest, vs *vcState) {
+func (r *Router) grant(now sim.Cycle, q saRequest, vs *vcState) {
 	r.cfg.Energy.AddArbitration()
 	r.cfg.Stats.SAGrants++
-	r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: vs.buf[0]})
+	f := vs.buf[0]
+	if r.rs != nil {
+		r.rs.SAGrants++
+	}
+	if r.tr != nil {
+		r.tr.Record(obs.Event{
+			Cycle: int64(now), Kind: obs.SAGrant, Packet: f.Packet.ID, Seq: int32(f.Seq),
+			Src: int32(f.Packet.Src), Dst: int32(f.Packet.Dst),
+			Loc: int32(r.ID), In: int32(q.in), VC: int32(q.vc), Out: int32(q.out),
+		})
+	}
+	r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: f})
 	r.in[q.in].rrVC = (q.vc + 1) % r.cfg.NumVCs
 	r.out[q.out].rrIn = (q.in + 1) % len(r.in)
 	if r.cfg.Opts.Pseudo {
@@ -496,6 +524,9 @@ func (r *Router) grant(q saRequest, vs *vcState) {
 			if in.pc.Valid && (i == q.in || in.pc.OutPort == q.out) {
 				in.pc.Terminate()
 				r.cfg.Stats.PCTerminated++
+				if r.rs != nil {
+					r.rs.PCTerminated++
+				}
 			}
 		}
 	}
@@ -519,6 +550,9 @@ func (r *Router) maintainPseudoCircuits() {
 			if !r.pcHasCredit(in) {
 				in.pc.Terminate()
 				r.cfg.Stats.PCTerminated++
+				if r.rs != nil {
+					r.rs.PCTerminated++
+				}
 				r.worked = true
 			}
 		}
@@ -543,6 +577,9 @@ func (r *Router) maintainPseudoCircuits() {
 		}
 		in.pc.SetSpeculative(vc, o)
 		r.cfg.Stats.PCSpeculated++
+		if r.rs != nil {
+			r.rs.PCSpeculated++
+		}
 		r.worked = true
 	}
 }
@@ -595,6 +632,18 @@ func (r *Router) processArrivals(now sim.Cycle) {
 		vs.buf = append(vs.buf, f)
 		vs.at = append(vs.at, now)
 		r.cfg.Energy.AddWrite()
+		if r.rs != nil {
+			if d := len(vs.buf); d > r.rs.In[i].BufHighWater {
+				r.rs.In[i].BufHighWater = d
+			}
+		}
+		if r.tr != nil {
+			r.tr.Record(obs.Event{
+				Cycle: int64(now), Kind: obs.BufWrite, Packet: f.Packet.ID, Seq: int32(f.Seq),
+				Src: int32(f.Packet.Src), Dst: int32(f.Packet.Dst),
+				Loc: int32(r.ID), In: int32(i), VC: int32(f.VC), Out: int32(f.NextOut),
+			})
+		}
 	}
 }
 
@@ -694,17 +743,60 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 			st.HeadBypassed++
 		}
 	}
+	if rs := r.rs; rs != nil {
+		rs.Traversals++
+		rs.OutSends[out]++
+		ps := &rs.In[in]
+		ps.Traversals++
+		if f.Kind.IsHead() {
+			rs.HeadTravs++
+		}
+		if viaPC {
+			rs.PCReused++
+			ps.PCReused++
+			if ip.pc.Speculative {
+				rs.SpecReused++
+			}
+			if f.Kind.IsHead() {
+				rs.HeadReused++
+			}
+		}
+		if bypass {
+			rs.Bypassed++
+			ps.Bypassed++
+			if f.Kind.IsHead() {
+				rs.HeadBypassed++
+			}
+		}
+	}
+	if r.tr != nil {
+		kind := obs.Traverse
+		if bypass {
+			kind = obs.Bypass
+		}
+		r.tr.Record(obs.Event{
+			Cycle: int64(now), Kind: kind, Packet: f.Packet.ID, Seq: int32(f.Seq),
+			Src: int32(f.Packet.Src), Dst: int32(f.Packet.Dst),
+			Loc: int32(r.ID), In: int32(in), VC: int32(vc), Out: int32(out),
+		})
+	}
 
 	// Pseudo-circuit refresh: every traversal (re)writes the register
 	// (§3.B) and claims the output, terminating any other circuit on it.
 	if r.cfg.Opts.Pseudo {
 		if !ip.pc.Match(vc, out) {
 			st.PCCreated++
+			if r.rs != nil {
+				r.rs.PCCreated++
+			}
 		}
 		for j, other := range r.in {
 			if j != in && other.pc.Valid && other.pc.OutPort == out {
 				other.pc.Terminate()
 				st.PCTerminated++
+				if r.rs != nil {
+					r.rs.PCTerminated++
+				}
 			}
 		}
 		ip.pc.Set(vc, out)
@@ -733,7 +825,6 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 	r.outSends[out]++
 	r.cfg.Credit(r.ID, in, vc)
 	r.cfg.Send(r.ID, out, f)
-	_ = now
 }
 
 // OutputSends returns per-output-port flit counts over the router's

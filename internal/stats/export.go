@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metrics JSONL export: one self-describing JSON object per line, typed by a
+// "type" field. Three line types exist:
+//
+//	{"type":"router", ...}  one per instrumented router (Registry row)
+//	{"type":"window", ...}  one per closed time-series window (Series sample)
+//	{"type":"global", ...}  exactly one, the whole-run Network counters
+//
+// The schema is strict — validators reject unknown fields — so downstream
+// tooling can rely on it; the global line lets any consumer cross-check that
+// per-router counters sum to the network totals.
+
+// PortMetrics is the serialized form of PortStats.
+type PortMetrics struct {
+	Port         int    `json:"port"`
+	Traversals   uint64 `json:"traversals"`
+	PCReused     uint64 `json:"pc_reused"`
+	Bypassed     uint64 `json:"bypassed"`
+	BufHighWater int    `json:"buf_hwm"`
+	CreditStalls uint64 `json:"credit_stalls"`
+}
+
+// RouterMetrics is the serialized form of a RouterStats row.
+type RouterMetrics struct {
+	Type         string        `json:"type"` // "router"
+	Router       int           `json:"router"`
+	SAGrants     uint64        `json:"sa_grants"`
+	PCCreated    uint64        `json:"pc_created"`
+	PCReused     uint64        `json:"pc_reused"`
+	PCTerminated uint64        `json:"pc_terminated"`
+	PCSpeculated uint64        `json:"pc_speculated"`
+	SpecReused   uint64        `json:"spec_reused"`
+	Traversals   uint64        `json:"traversals"`
+	Bypassed     uint64        `json:"bypassed"`
+	HeadTravs    uint64        `json:"head_traversals"`
+	HeadReused   uint64        `json:"head_reused"`
+	HeadBypassed uint64        `json:"head_bypassed"`
+	Ports        []PortMetrics `json:"ports"`
+	OutSends     []uint64      `json:"out_sends"`
+}
+
+// WindowMetrics is the serialized form of a Series sample.
+type WindowMetrics struct {
+	Type           string `json:"type"` // "window"
+	From           int64  `json:"from"`
+	To             int64  `json:"to"`
+	Injected       uint64 `json:"injected"`
+	Delivered      uint64 `json:"delivered"`
+	FlitsDelivered uint64 `json:"flits_delivered"`
+	LatencySamples uint64 `json:"latency_samples"`
+	LatencySum     uint64 `json:"latency_sum"`
+	Traversals     uint64 `json:"traversals"`
+	PCReused       uint64 `json:"pc_reused"`
+	Bypassed       uint64 `json:"bypassed"`
+}
+
+// GlobalMetrics is the serialized form of the global Network counters.
+type GlobalMetrics struct {
+	Type             string  `json:"type"` // "global"
+	MeasuredFrom     int64   `json:"measured_from"`
+	MeasuredTo       int64   `json:"measured_to"`
+	PacketsInjected  uint64  `json:"packets_injected"`
+	PacketsDelivered uint64  `json:"packets_delivered"`
+	FlitsDelivered   uint64  `json:"flits_delivered"`
+	SAGrants         uint64  `json:"sa_grants"`
+	PCCreated        uint64  `json:"pc_created"`
+	PCReused         uint64  `json:"pc_reused"`
+	PCTerminated     uint64  `json:"pc_terminated"`
+	PCSpeculated     uint64  `json:"pc_speculated"`
+	SpecReused       uint64  `json:"spec_reused"`
+	Traversals       uint64  `json:"traversals"`
+	Bypassed         uint64  `json:"bypassed"`
+	AvgLatency       float64 `json:"avg_latency"`
+}
+
+// WriteMetricsJSONL writes the run's metrics as JSONL: router lines from reg
+// (nil skips them), window lines from series (nil skips them), then the
+// global line from st.
+func WriteMetricsJSONL(w io.Writer, reg *Registry, series *Series, st *Network) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range reg.Routers() {
+		line := RouterMetrics{
+			Type:         "router",
+			Router:       r.ID,
+			SAGrants:     r.SAGrants,
+			PCCreated:    r.PCCreated,
+			PCReused:     r.PCReused,
+			PCTerminated: r.PCTerminated,
+			PCSpeculated: r.PCSpeculated,
+			SpecReused:   r.SpecReused,
+			Traversals:   r.Traversals,
+			Bypassed:     r.Bypassed,
+			HeadTravs:    r.HeadTravs,
+			HeadReused:   r.HeadReused,
+			HeadBypassed: r.HeadBypassed,
+			Ports:        make([]PortMetrics, len(r.In)),
+			OutSends:     r.OutSends,
+		}
+		for i := range r.In {
+			p := &r.In[i]
+			line.Ports[i] = PortMetrics{
+				Port:         i,
+				Traversals:   p.Traversals,
+				PCReused:     p.PCReused,
+				Bypassed:     p.Bypassed,
+				BufHighWater: p.BufHighWater,
+				CreditStalls: p.CreditStalls,
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	if series != nil {
+		for _, s := range series.Samples() {
+			line := WindowMetrics{
+				Type:           "window",
+				From:           int64(s.From),
+				To:             int64(s.To),
+				Injected:       s.Injected,
+				Delivered:      s.Delivered,
+				FlitsDelivered: s.FlitsDelivered,
+				LatencySamples: s.LatencySamples,
+				LatencySum:     s.LatencySum,
+				Traversals:     s.Traversals,
+				PCReused:       s.PCReused,
+				Bypassed:       s.Bypassed,
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	if st != nil {
+		line := GlobalMetrics{
+			Type:             "global",
+			MeasuredFrom:     int64(st.MeasuredFrom),
+			MeasuredTo:       int64(st.MeasuredTo),
+			PacketsInjected:  st.PacketsInjected,
+			PacketsDelivered: st.PacketsDelivered,
+			FlitsDelivered:   st.FlitsDelivered,
+			SAGrants:         st.SAGrants,
+			PCCreated:        st.PCCreated,
+			PCReused:         st.PCReused,
+			PCTerminated:     st.PCTerminated,
+			PCSpeculated:     st.PCSpeculated,
+			SpecReused:       st.SpecReused,
+			Traversals:       st.Traversals,
+			Bypassed:         st.Bypassed,
+			AvgLatency:       st.AvgLatency(),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateMetricsJSONL checks a metrics JSONL stream against the schema:
+// every line must strictly decode as one of the three line types, and when
+// both router lines and a global line are present, the per-router
+// pseudo-circuit and traversal counters must sum exactly to the global
+// values. It returns the number of lines validated.
+func ValidateMetricsJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var (
+		lines, routers, globals       int
+		sumReused, sumTrav, sumGrants uint64
+		global                        GlobalMetrics
+		seen                          = map[int]bool{}
+	)
+	strict := func(data []byte, v any) error {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+	for sc.Scan() {
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		lines++
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(data, &head); err != nil {
+			return lines, fmt.Errorf("metrics line %d: %v", lines, err)
+		}
+		switch head.Type {
+		case "router":
+			var rm RouterMetrics
+			if err := strict(data, &rm); err != nil {
+				return lines, fmt.Errorf("metrics line %d (router): %v", lines, err)
+			}
+			if rm.Router < 0 {
+				return lines, fmt.Errorf("metrics line %d: negative router id %d", lines, rm.Router)
+			}
+			if seen[rm.Router] {
+				return lines, fmt.Errorf("metrics line %d: duplicate router %d", lines, rm.Router)
+			}
+			seen[rm.Router] = true
+			var portReuse uint64
+			for _, p := range rm.Ports {
+				portReuse += p.PCReused
+			}
+			if portReuse != rm.PCReused {
+				return lines, fmt.Errorf("metrics line %d: router %d port pc_reused sum %d != router pc_reused %d",
+					lines, rm.Router, portReuse, rm.PCReused)
+			}
+			routers++
+			sumReused += rm.PCReused
+			sumTrav += rm.Traversals
+			sumGrants += rm.SAGrants
+		case "window":
+			var wm WindowMetrics
+			if err := strict(data, &wm); err != nil {
+				return lines, fmt.Errorf("metrics line %d (window): %v", lines, err)
+			}
+			if wm.To <= wm.From {
+				return lines, fmt.Errorf("metrics line %d: empty window [%d,%d)", lines, wm.From, wm.To)
+			}
+		case "global":
+			if err := strict(data, &global); err != nil {
+				return lines, fmt.Errorf("metrics line %d (global): %v", lines, err)
+			}
+			globals++
+		default:
+			return lines, fmt.Errorf("metrics line %d: unknown type %q", lines, head.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, err
+	}
+	if lines == 0 {
+		return 0, fmt.Errorf("metrics: empty stream")
+	}
+	if globals > 1 {
+		return lines, fmt.Errorf("metrics: %d global lines (want at most 1)", globals)
+	}
+	if routers > 0 && globals == 1 {
+		if sumReused != global.PCReused {
+			return lines, fmt.Errorf("metrics: per-router pc_reused sum %d != global %d", sumReused, global.PCReused)
+		}
+		if sumTrav != global.Traversals {
+			return lines, fmt.Errorf("metrics: per-router traversals sum %d != global %d", sumTrav, global.Traversals)
+		}
+		if sumGrants != global.SAGrants {
+			return lines, fmt.Errorf("metrics: per-router sa_grants sum %d != global %d", sumGrants, global.SAGrants)
+		}
+	}
+	return lines, nil
+}

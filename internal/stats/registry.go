@@ -1,0 +1,168 @@
+package stats
+
+// PortStats accumulates per-input-port counters for one router. BufHighWater
+// is the deepest any VC buffer of the port ever got (in flits) since the last
+// Reset; CreditStalls counts head-of-VC flits that were ready to traverse but
+// were held back by credit exhaustion, one count per stalled VC per cycle.
+type PortStats struct {
+	Traversals   uint64 // crossbar traversals entering through this port
+	PCReused     uint64 // traversals that reused a pseudo-circuit
+	Bypassed     uint64 // traversals that also bypassed the input buffer
+	BufHighWater int    // max flits buffered in any one VC of this port
+	CreditStalls uint64 // head-of-VC cycles lost waiting for downstream credit
+}
+
+// RouterStats accumulates per-router counters; it mirrors the router-level
+// slice of the global Network counters (same increment sites, same reset
+// instant) so per-router values sum exactly to their global counterparts.
+type RouterStats struct {
+	ID int
+
+	SAGrants     uint64
+	PCCreated    uint64
+	PCReused     uint64
+	PCTerminated uint64
+	PCSpeculated uint64
+	SpecReused   uint64
+	Traversals   uint64
+	Bypassed     uint64
+	HeadTravs    uint64
+	HeadReused   uint64
+	HeadBypassed uint64
+
+	// In holds per-input-port counters; OutSends counts flits leaving each
+	// output port.
+	In       []PortStats
+	OutSends []uint64
+}
+
+// Reusability returns this router's pseudo-circuit reuse fraction.
+func (r *RouterStats) Reusability() float64 {
+	if r.Traversals == 0 {
+		return 0
+	}
+	return float64(r.PCReused) / float64(r.Traversals)
+}
+
+// BypassRate returns this router's buffer-bypass fraction.
+func (r *RouterStats) BypassRate() float64 {
+	if r.Traversals == 0 {
+		return 0
+	}
+	return float64(r.Bypassed) / float64(r.Traversals)
+}
+
+// CreditStalls sums credit-stall cycles over all input ports.
+func (r *RouterStats) CreditStallCycles() uint64 {
+	var n uint64
+	for i := range r.In {
+		n += r.In[i].CreditStalls
+	}
+	return n
+}
+
+// Registry holds per-router statistics for one network. It is opt-in: a nil
+// *Registry is a valid "disabled" value — Attach returns nil and routers
+// guard every increment on that, so the disabled path costs one predictable
+// nil check and allocates nothing.
+//
+// Rows are created by Attach during network construction and then only
+// written by their owning router, so a Registry is as concurrency-safe as the
+// network that owns it (not at all; one simulation owns one).
+type Registry struct {
+	routers []*RouterStats
+}
+
+// NewRegistry returns an empty registry; routers populate it via Attach.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Attach creates (or returns) the per-router row for router id with the given
+// port counts. It is nil-safe: a nil registry yields a nil row, the router's
+// signal that per-router instrumentation is off.
+func (g *Registry) Attach(id, inPorts, outPorts int) *RouterStats {
+	if g == nil {
+		return nil
+	}
+	for id >= len(g.routers) {
+		g.routers = append(g.routers, nil)
+	}
+	if g.routers[id] == nil {
+		g.routers[id] = &RouterStats{
+			ID:       id,
+			In:       make([]PortStats, inPorts),
+			OutSends: make([]uint64, outPorts),
+		}
+	}
+	return g.routers[id]
+}
+
+// Router returns the row for router id, or nil if none was attached.
+func (g *Registry) Router(id int) *RouterStats {
+	if g == nil || id < 0 || id >= len(g.routers) {
+		return nil
+	}
+	return g.routers[id]
+}
+
+// Routers returns every attached row in router-ID order.
+func (g *Registry) Routers() []*RouterStats {
+	if g == nil {
+		return nil
+	}
+	out := make([]*RouterStats, 0, len(g.routers))
+	for _, r := range g.routers {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Reset zeroes all counters in place (rows and port slices are kept), marking
+// the start of the measurement phase; the network calls it from ResetStats so
+// per-router counters cover exactly the same window as the global ones.
+func (g *Registry) Reset() {
+	if g == nil {
+		return
+	}
+	for _, r := range g.routers {
+		if r == nil {
+			continue
+		}
+		in, outs, id := r.In, r.OutSends, r.ID
+		*r = RouterStats{ID: id, In: in, OutSends: outs}
+		for i := range in {
+			in[i] = PortStats{}
+		}
+		for o := range outs {
+			outs[o] = 0
+		}
+	}
+}
+
+// Totals aggregates all rows into one RouterStats (ID -1, no port slices).
+// For a standard-router network it must equal the matching global Network
+// counters over the same window; tests assert that equivalence.
+func (g *Registry) Totals() RouterStats {
+	t := RouterStats{ID: -1}
+	if g == nil {
+		return t
+	}
+	for _, r := range g.routers {
+		if r == nil {
+			continue
+		}
+		t.SAGrants += r.SAGrants
+		t.PCCreated += r.PCCreated
+		t.PCReused += r.PCReused
+		t.PCTerminated += r.PCTerminated
+		t.PCSpeculated += r.PCSpeculated
+		t.SpecReused += r.SpecReused
+		t.Traversals += r.Traversals
+		t.Bypassed += r.Bypassed
+		t.HeadTravs += r.HeadTravs
+		t.HeadReused += r.HeadReused
+		t.HeadBypassed += r.HeadBypassed
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package stats_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/stats"
+)
+
+// A nil *Registry is the disabled state: every method must be a safe no-op.
+func TestRegistryNilSafe(t *testing.T) {
+	var g *stats.Registry
+	if g.Attach(3, 5, 5) != nil {
+		t.Error("nil registry Attach returned a row")
+	}
+	if g.Router(0) != nil || g.Routers() != nil {
+		t.Error("nil registry lookup returned rows")
+	}
+	g.Reset() // must not panic
+	if tot := g.Totals(); tot.ID != -1 || tot.Traversals != 0 {
+		t.Errorf("nil registry Totals = %+v", tot)
+	}
+}
+
+func TestRegistryAttach(t *testing.T) {
+	g := stats.NewRegistry()
+	r5 := g.Attach(5, 3, 4) // out-of-order, sparse IDs
+	r1 := g.Attach(1, 2, 2)
+	if r5 == nil || r1 == nil {
+		t.Fatal("Attach returned nil on live registry")
+	}
+	if len(r5.In) != 3 || len(r5.OutSends) != 4 {
+		t.Errorf("row 5 port slices = %d in / %d out", len(r5.In), len(r5.OutSends))
+	}
+	if again := g.Attach(5, 3, 4); again != r5 {
+		t.Error("re-Attach returned a different row")
+	}
+	if g.Router(5) != r5 || g.Router(1) != r1 {
+		t.Error("Router lookup mismatch")
+	}
+	if g.Router(0) != nil || g.Router(2) != nil || g.Router(99) != nil || g.Router(-1) != nil {
+		t.Error("unattached IDs must yield nil")
+	}
+	rows := g.Routers()
+	if len(rows) != 2 || rows[0] != r1 || rows[1] != r5 {
+		t.Errorf("Routers() = %v rows, want [r1 r5]", len(rows))
+	}
+}
+
+func TestRegistryTotalsAndReset(t *testing.T) {
+	g := stats.NewRegistry()
+	a := g.Attach(0, 2, 2)
+	b := g.Attach(1, 2, 2)
+	a.SAGrants, a.Traversals, a.PCReused = 10, 8, 3
+	b.SAGrants, b.Traversals, b.PCReused = 5, 4, 2
+	a.In[1].CreditStalls = 7
+	a.In[0].BufHighWater = 4
+	b.OutSends[0] = 9
+
+	tot := g.Totals()
+	if tot.SAGrants != 15 || tot.Traversals != 12 || tot.PCReused != 5 {
+		t.Errorf("Totals = %+v", tot)
+	}
+	if got := a.CreditStallCycles(); got != 7 {
+		t.Errorf("CreditStallCycles = %d", got)
+	}
+	if r := a.Reusability(); r != 3.0/8 {
+		t.Errorf("Reusability = %v", r)
+	}
+
+	inBefore := &a.In[0]
+	g.Reset()
+	if g.Router(0) != a || &a.In[0] != inBefore {
+		t.Error("Reset must zero in place, not reallocate rows or ports")
+	}
+	if tot := g.Totals(); tot.SAGrants != 0 || tot.Traversals != 0 || tot.PCReused != 0 {
+		t.Errorf("Totals after Reset = %+v", tot)
+	}
+	if a.In[1].CreditStalls != 0 || a.In[0].BufHighWater != 0 || b.OutSends[0] != 0 {
+		t.Error("Reset left port counters set")
+	}
+	if a.ID != 0 || b.ID != 1 {
+		t.Error("Reset clobbered router IDs")
+	}
+}
+
+// Rate helpers must guard the zero-traversal case (a router that never
+// forwarded anything).
+func TestRouterStatsZeroGuards(t *testing.T) {
+	var r stats.RouterStats
+	if r.Reusability() != 0 || r.BypassRate() != 0 || r.CreditStallCycles() != 0 {
+		t.Error("zero-value RouterStats rates must be 0")
+	}
+}

@@ -57,8 +57,19 @@ type Network struct {
 }
 
 // Reset clears all counters, marking the start of the measurement phase.
+// MeasuredTo is set to now as well, so the measurement window is empty (not
+// negative) until the first post-reset cycle completes and rate reporting
+// never divides by a zero- or negative-length window.
 func (n *Network) Reset(now sim.Cycle) {
-	*n = Network{MeasuredFrom: now}
+	*n = Network{MeasuredFrom: now, MeasuredTo: now}
+}
+
+// Window returns the measured window length in cycles, never negative.
+func (n *Network) Window() sim.Cycle {
+	if n.MeasuredTo <= n.MeasuredFrom {
+		return 0
+	}
+	return n.MeasuredTo - n.MeasuredFrom
 }
 
 // RecordDelivery accounts a fully ejected packet. Only measured packets
@@ -157,13 +168,23 @@ func (n *Network) E2ELocality() float64 {
 }
 
 // Throughput returns delivered flits per node per cycle over the measured
-// window, for nodes terminals.
+// window, for nodes terminals. A zero-length window reports 0, never NaN/Inf.
 func (n *Network) Throughput(nodes int) float64 {
-	cycles := n.MeasuredTo - n.MeasuredFrom
-	if cycles <= 0 || nodes == 0 {
+	cycles := n.Window()
+	if cycles == 0 || nodes == 0 {
 		return 0
 	}
 	return float64(n.FlitsDelivered) / float64(cycles) / float64(nodes)
+}
+
+// InjectionRate returns injected packets per node per cycle over the
+// measured window, with the same zero-window guard as Throughput.
+func (n *Network) InjectionRate(nodes int) float64 {
+	cycles := n.Window()
+	if cycles == 0 || nodes == 0 {
+		return 0
+	}
+	return float64(n.PacketsInjected) / float64(cycles) / float64(nodes)
 }
 
 // String summarizes the run for logs and examples.

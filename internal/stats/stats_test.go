@@ -92,6 +92,39 @@ func TestThroughputAndReset(t *testing.T) {
 	}
 }
 
+// TestZeroLengthWindow: rate accessors must not divide by a zero- or
+// negative-length measurement window. Reset(now) sets MeasuredTo = now, so
+// the instant after a reset — before the next Step — is exactly this case.
+func TestZeroLengthWindow(t *testing.T) {
+	var n stats.Network
+	n.Reset(100)
+	n.FlitsDelivered = 640
+	n.PacketsInjected = 128
+	if got := n.Window(); got != 0 {
+		t.Errorf("Window right after Reset = %d, want 0", got)
+	}
+	if got := n.Throughput(64); got != 0 {
+		t.Errorf("Throughput on zero window = %v, want 0", got)
+	}
+	if got := n.InjectionRate(64); got != 0 {
+		t.Errorf("InjectionRate on zero window = %v, want 0", got)
+	}
+	n.MeasuredTo = 50 // corrupt: To before From must still not blow up
+	if n.Window() != 0 || n.Throughput(64) != 0 || n.InjectionRate(64) != 0 {
+		t.Error("negative window not guarded")
+	}
+	n.MeasuredTo = 200
+	if got := n.Window(); got != 100 {
+		t.Errorf("Window = %d, want 100", got)
+	}
+	if got := n.Throughput(64); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Throughput = %v, want 0.1", got)
+	}
+	if got := n.InjectionRate(64); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("InjectionRate = %v, want 0.02", got)
+	}
+}
+
 func TestString(t *testing.T) {
 	var n stats.Network
 	n.RecordDelivery(10, 9, 2, 3, true)

@@ -21,15 +21,18 @@ package noc
 
 import (
 	"fmt"
+	"io"
 
 	"pseudocircuit/internal/cmp"
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/evc"
 	"pseudocircuit/internal/flit"
 	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/router"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/stats"
 	"pseudocircuit/internal/topology"
 	"pseudocircuit/internal/traffic"
 	"pseudocircuit/internal/vcalloc"
@@ -123,6 +126,46 @@ type Pool = flit.Pool
 // NewPool returns an empty flit/packet pool.
 func NewPool() *Pool { return flit.NewPool() }
 
+// Observability re-exports from the internal layers. The probes are opt-in
+// and observation-only: enabling them cannot change simulation results (the
+// determinism harness covers this), and the zero-value Observe keeps every
+// probe off at zero cost.
+type (
+	// Registry holds per-router/per-port counters; see Network.Registry.
+	Registry = stats.Registry
+	// RouterStats is one router's row in a Registry.
+	RouterStats = stats.RouterStats
+	// PortStats is one input port's counters within a RouterStats.
+	PortStats = stats.PortStats
+	// Series is the cycle-windowed time series; see Network.Series.
+	Series = stats.Series
+	// WindowSample is one closed window of a Series.
+	WindowSample = stats.Sample
+	// Tracer is the flit-lifecycle event tracer; see Network.Tracer.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = obs.Event
+)
+
+// Observe configures the observability layer of an Experiment. The zero
+// value disables everything; each probe is independent.
+type Observe struct {
+	// PerRouter enables the per-router/per-port counter Registry. Standard
+	// routers only: the EVC comparison router records no per-router rows.
+	PerRouter bool
+	// Window enables cycle-windowed time-series sampling with the given
+	// window length in cycles (0 = off).
+	Window int
+	// WindowCap bounds the retained windows (ring buffer); 0 selects 4096.
+	WindowCap int
+	// Trace enables the flit-lifecycle event tracer.
+	Trace bool
+	// TraceCap bounds the retained events (ring buffer); 0 selects 1<<17.
+	TraceCap int
+}
+
+func (o Observe) enabled() bool { return o.PerRouter || o.Window > 0 || o.Trace }
+
 // Experiment describes one simulation configuration. Zero values select the
 // paper's defaults (4 VCs, 4-flit buffers, 1000-cycle warmup, 10000-cycle
 // measurement, seed 1).
@@ -150,6 +193,9 @@ type Experiment struct {
 	// bit-identical either way; the flag exists for the determinism harness
 	// and kernel benchmarks.
 	NaiveKernel bool
+	// Observe opts into the observability layer (per-router counters,
+	// windowed time series, lifecycle tracing). Zero value: all off.
+	Observe Observe
 
 	Warmup  int // warmup cycles before measurement
 	Measure int // measured cycles
@@ -216,6 +262,25 @@ func (e Experiment) Build() *Network {
 	if e.Opts != nil {
 		cfg.Opts = *e.Opts
 	}
+	if e.Observe.enabled() {
+		if e.Observe.PerRouter {
+			cfg.Registry = stats.NewRegistry()
+		}
+		if e.Observe.Window > 0 {
+			wcap := e.Observe.WindowCap
+			if wcap == 0 {
+				wcap = 4096
+			}
+			cfg.Series = stats.NewSeries(e.Observe.Window, wcap)
+		}
+		if e.Observe.Trace {
+			tcap := e.Observe.TraceCap
+			if tcap == 0 {
+				tcap = 1 << 17
+			}
+			cfg.Tracer = obs.NewTracer(tcap)
+		}
+	}
 	if e.UseEVC {
 		if e.Scheme.Pseudo {
 			panic("noc: UseEVC is a comparison baseline; Scheme must be Baseline")
@@ -240,13 +305,54 @@ func (e Experiment) Run(w Workload) Result {
 
 // RunOn executes the experiment's warmup/measure protocol on an
 // already-built network (from Build), leaving the network available for
-// post-run inspection (e.g. Network.LinkLoads).
+// post-run inspection (e.g. Network.LinkLoads, Network.Registry).
 func (e Experiment) RunOn(n *Network, w Workload) Result {
 	e = e.defaults()
 	n.Run(w, e.Warmup)
 	n.ResetStats()
 	n.Run(w, e.Measure)
 	return collect(n, e.Measure)
+}
+
+// RunOnObserved is RunOn with a callback invoked between chunks of at most
+// `every` cycles, across both warmup and measurement. The callback runs on
+// the simulation goroutine while the network is quiescent between Steps, so
+// monitoring endpoints (expvar, live progress) can snapshot Stats without
+// racing the cycle loop. every <= 0 or a nil fn degrades to plain RunOn.
+func (e Experiment) RunOnObserved(n *Network, w Workload, every int, fn func(n *Network)) Result {
+	e = e.defaults()
+	if every <= 0 || fn == nil {
+		return e.RunOn(n, w)
+	}
+	chunked := func(total int) {
+		for done := 0; done < total; {
+			c := every
+			if rem := total - done; rem < c {
+				c = rem
+			}
+			n.Run(w, c)
+			done += c
+			fn(n)
+		}
+	}
+	chunked(e.Warmup)
+	n.ResetStats()
+	chunked(e.Measure)
+	return collect(n, e.Measure)
+}
+
+// WriteMetricsJSONL writes the network's per-router counters, time-series
+// windows and global counters as JSONL (see internal/stats for the schema).
+// Probes that are off are simply absent from the output.
+func WriteMetricsJSONL(w io.Writer, n *Network) error {
+	return stats.WriteMetricsJSONL(w, n.Registry(), n.Series(), n.Stats)
+}
+
+// ValidateMetricsJSONL checks a metrics JSONL stream against the export
+// schema, including the per-router-sums-to-global cross-check. It returns
+// the number of lines validated.
+func ValidateMetricsJSONL(r io.Reader) (int, error) {
+	return stats.ValidateMetricsJSONL(r)
 }
 
 // SyntheticWorkload builds the synthetic workload for this experiment's

@@ -1,0 +1,169 @@
+package noc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pseudocircuit/internal/obs"
+	"pseudocircuit/noc"
+)
+
+func observedExperiment(o noc.Observe) noc.Experiment {
+	return noc.Experiment{
+		Topology: noc.Mesh(8, 8),
+		Scheme:   noc.PseudoSB,
+		Routing:  noc.XY,
+		Policy:   noc.StaticVA,
+		Warmup:   500,
+		Measure:  3000,
+		Observe:  o,
+	}
+}
+
+func runObserved(e noc.Experiment) (*noc.Network, noc.Result) {
+	n := e.Build()
+	res := e.RunOn(n, e.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10}))
+	return n, res
+}
+
+// The acceptance criterion for the registry: per-router counters, summed,
+// must equal the global counters exactly — same increment sites, same
+// measurement window.
+func TestRegistryAggregationMatchesGlobal(t *testing.T) {
+	n, _ := runObserved(observedExperiment(noc.Observe{PerRouter: true}))
+	st := n.Stats
+	tot := n.Registry().Totals()
+	if len(n.Registry().Routers()) != 64 {
+		t.Fatalf("%d router rows, want 64", len(n.Registry().Routers()))
+	}
+	for _, c := range []struct {
+		name          string
+		local, global uint64
+	}{
+		{"SAGrants", tot.SAGrants, st.SAGrants},
+		{"PCCreated", tot.PCCreated, st.PCCreated},
+		{"PCReused", tot.PCReused, st.PCReused},
+		{"PCTerminated", tot.PCTerminated, st.PCTerminated},
+		{"PCSpeculated", tot.PCSpeculated, st.PCSpeculated},
+		{"SpecReused", tot.SpecReused, st.SpecReused},
+		{"Traversals", tot.Traversals, st.Traversals},
+		{"Bypassed", tot.Bypassed, st.Bypassed},
+		{"HeadTravs", tot.HeadTravs, st.HeadTravs},
+		{"HeadReused", tot.HeadReused, st.HeadReused},
+		{"HeadBypassed", tot.HeadBypassed, st.HeadBypassed},
+	} {
+		if c.local != c.global {
+			t.Errorf("per-router %s sum = %d, global = %d", c.name, c.local, c.global)
+		}
+	}
+	if tot.Traversals == 0 || tot.PCReused == 0 {
+		t.Error("registry recorded nothing; instrumentation not wired?")
+	}
+	// Per-port counters roll up to the router counters.
+	for _, r := range n.Registry().Routers() {
+		var trav, reused uint64
+		for i := range r.In {
+			trav += r.In[i].Traversals
+			reused += r.In[i].PCReused
+		}
+		if trav != r.Traversals || reused != r.PCReused {
+			t.Fatalf("router %d: port sums %d/%d != router %d/%d",
+				r.ID, trav, reused, r.Traversals, r.PCReused)
+		}
+	}
+}
+
+// Probes are observation-only: enabling all of them must not change any
+// measurement.
+func TestObservabilityNoBehaviorChange(t *testing.T) {
+	_, base := runObserved(observedExperiment(noc.Observe{}))
+	_, full := runObserved(observedExperiment(noc.Observe{
+		PerRouter: true, Window: 250, Trace: true, TraceCap: 1 << 12,
+	}))
+	if base != full {
+		t.Errorf("observability changed results:\noff: %+v\non:  %+v", base, full)
+	}
+}
+
+// The windowed series must cover warmup and measurement, with window sums
+// matching the global measured counters after the rebase.
+func TestSeriesCoversRun(t *testing.T) {
+	e := observedExperiment(noc.Observe{Window: 250})
+	n, res := runObserved(e)
+	samples := n.Series().Samples()
+	if len(samples) == 0 {
+		t.Fatal("no windows recorded")
+	}
+	var measuredFlits uint64
+	for i, s := range samples {
+		if s.To <= s.From {
+			t.Fatalf("window %d empty: [%d,%d)", i, s.From, s.To)
+		}
+		if i > 0 && s.From != samples[i-1].To {
+			t.Fatalf("window %d not contiguous: starts %d, previous ends %d", i, s.From, samples[i-1].To)
+		}
+		if int64(s.From) >= int64(e.Warmup) {
+			measuredFlits += s.FlitsDelivered
+		}
+	}
+	if first := samples[0]; first.From != 0 {
+		t.Errorf("series starts at %d, want 0 (must span warmup)", first.From)
+	}
+	if measuredFlits != res.FlitsDelivered {
+		t.Errorf("measured-window flit sum %d != result %d", measuredFlits, res.FlitsDelivered)
+	}
+}
+
+// End to end: exports produced from a live run validate against their own
+// schemas, including the metrics cross-check of router sums vs global.
+func TestObservedExportsEndToEnd(t *testing.T) {
+	n, _ := runObserved(observedExperiment(noc.Observe{
+		PerRouter: true, Window: 500, Trace: true,
+	}))
+
+	var metrics bytes.Buffer
+	if err := noc.WriteMetricsJSONL(&metrics, n); err != nil {
+		t.Fatal(err)
+	}
+	if lines, err := noc.ValidateMetricsJSONL(bytes.NewReader(metrics.Bytes())); err != nil {
+		t.Errorf("metrics export invalid: %v", err)
+	} else if lines < 64+1 {
+		t.Errorf("metrics export has %d lines, want >= 65", lines)
+	}
+
+	tr := n.Tracer()
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	var events bytes.Buffer
+	if err := tr.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateEventsJSONL(bytes.NewReader(events.Bytes())); err != nil {
+		t.Errorf("event export invalid: %v", err)
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(bytes.NewReader(chrome.Bytes())); err != nil {
+		t.Errorf("chrome trace invalid: %v", err)
+	}
+}
+
+// RunOnObserved must invoke the callback between chunks and produce the same
+// result as RunOn.
+func TestRunOnObserved(t *testing.T) {
+	e := observedExperiment(noc.Observe{PerRouter: true})
+	_, plain := runObserved(e)
+
+	n := e.Build()
+	calls := 0
+	res := e.RunOnObserved(n, e.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10}), 500, func(*noc.Network) { calls++ })
+	if calls < (e.Warmup+e.Measure)/500 {
+		t.Errorf("callback ran %d times, want >= %d", calls, (e.Warmup+e.Measure)/500)
+	}
+	if res != plain {
+		t.Errorf("RunOnObserved result differs from RunOn:\n%+v\n%+v", res, plain)
+	}
+}
