@@ -1,0 +1,96 @@
+// Command nocd serves pseudo-circuit simulations over HTTP: submit an
+// experiment+workload spec as a job, poll or stream its progress, fetch the
+// result. Identical specs are content-addressed — a repeated submission is
+// answered from the result cache without re-simulating, and identical
+// in-flight submissions share one run. Cancelling a job (or shutting the
+// daemon down past its drain deadline) stops the simulation at the next
+// chunk boundary.
+//
+// Quickstart:
+//
+//	nocd -listen localhost:8080 &
+//	curl -s localhost:8080/jobs -d '{"topology":"mesh8x8","scheme":"pseudo+s+b",
+//	  "va":"static","workload":{"pattern":"uniform","rate":0.1}}'
+//	curl -s localhost:8080/jobs/j1?wait=1          # block until done
+//	curl -s localhost:8080/jobs -d '...same spec'  # -> "cacheHit": true
+//
+// Endpoints: POST /jobs (?wait=1), GET /jobs, GET /jobs/{id} (?wait=1,
+// ?watch=1 for an NDJSON progress stream), GET /jobs/{id}/result,
+// POST /jobs/{id}/cancel (or DELETE /jobs/{id}), GET /healthz, and the
+// stock /debug/vars (service counters under "nocd") and /debug/pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/version"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "localhost:8080", "HTTP listen address")
+		workers     = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queueCap    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
+		cacheCap    = flag.Int("cache", 1024, "max cached results (oldest evicted)")
+		chunk       = flag.Int("chunk", 1000, "cycles between cancellation checks and progress updates")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline before in-flight jobs are cancelled")
+		showVersion = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("nocd"))
+		return
+	}
+
+	m := service.New(service.Config{
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		CacheCap: *cacheCap,
+		Chunk:    *chunk,
+	})
+	expvar.Publish("nocd", expvar.Func(func() any { return m.Stats() }))
+
+	mux := newMux(m)
+	// The expvar and pprof handlers self-register on the default mux;
+	// delegate the whole /debug/ subtree to it.
+	mux.Handle("GET /debug/", http.DefaultServeMux)
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nocd: listening on %s\n", *listen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "nocd: draining (deadline %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := m.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nocd: drain deadline hit, in-flight jobs cancelled: %v\n", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal("http shutdown: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nocd: "+format+"\n", args...)
+	os.Exit(1)
+}

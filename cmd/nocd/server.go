@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"pseudocircuit/internal/service"
+)
+
+// maxBodyBytes bounds a job-submission body; specs are a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// watchInterval paces the NDJSON progress stream of GET /jobs/{id}?watch=1.
+const watchInterval = 250 * time.Millisecond
+
+// newMux builds the service API. main adds the /debug/ subtree; tests serve
+// this mux directly.
+func newMux(m *service.Manager) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleStatus(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(m, w, r)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		handleCancel(m, w, r)
+	}
+	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+	return mux
+}
+
+func handleSubmit(m *service.Manager, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body over 1 MiB"))
+		return
+	}
+	req, err := service.DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := m.Submit(req)
+	switch {
+	case errors.Is(err, service.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, service.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, service.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if jw, err := m.Wait(r.Context(), j.ID); err == nil {
+			j = jw
+		}
+	}
+	status := http.StatusAccepted
+	if j.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j)
+}
+
+func handleStatus(m *service.Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, service.ErrUnknownJob)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case q.Get("watch") != "":
+		streamStatus(m, w, r, id)
+	case q.Get("wait") != "":
+		if jw, err := m.Wait(r.Context(), id); err == nil {
+			j = jw
+		}
+		writeJSON(w, http.StatusOK, j)
+	default:
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+// streamStatus writes one status line per tick as NDJSON until the job is
+// terminal or the client goes away; per-chunk progress (cyclesDone) arrives
+// as the simulation crosses chunk boundaries.
+func streamStatus(m *service.Manager, w http.ResponseWriter, r *http.Request, id string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(watchInterval)
+	defer ticker.Stop()
+	for {
+		j, ok := m.Get(id)
+		if !ok {
+			return
+		}
+		if err := enc.Encode(j); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if j.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func handleResult(m *service.Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, service.ErrUnknownJob)
+		return
+	}
+	switch j.State {
+	case service.StateDone:
+		writeJSON(w, http.StatusOK, j.Result)
+	case service.StateFailed:
+		writeError(w, http.StatusInternalServerError, errors.New(j.Error))
+	case service.StateCanceled:
+		writeError(w, http.StatusGone, errors.New("job canceled"))
+	default:
+		writeError(w, http.StatusConflict, errors.New("job not finished: "+string(j.State)))
+	}
+}
+
+func handleCancel(m *service.Manager, w http.ResponseWriter, r *http.Request) {
+	j, err := m.Cancel(r.PathValue("id"))
+	if errors.Is(err, service.ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

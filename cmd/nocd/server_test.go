@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/noc"
+	"pseudocircuit/nocdclient"
+)
+
+func testServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Manager, *nocdclient.Client) {
+	t.Helper()
+	if cfg.Chunk == 0 {
+		cfg.Chunk = 100
+	}
+	m := service.New(cfg)
+	srv := httptest.NewServer(newMux(m))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return srv, m, nocdclient.New(srv.URL)
+}
+
+func smallReq(seed uint64) nocdclient.Request {
+	return nocdclient.Request{
+		Spec: noc.Spec{
+			Topology: "mesh4x4",
+			Scheme:   "pseudo+s+b",
+			VA:       "static",
+			Seed:     seed,
+			Warmup:   100,
+			Measure:  400,
+		},
+		Workload: noc.WorkloadSpec{Pattern: "uniform", Rate: 0.10},
+	}
+}
+
+// TestDaemonEndToEnd drives the whole loop through the client: health,
+// submit+wait, result fetch, cache hit on resubmission.
+func TestDaemonEndToEnd(t *testing.T) {
+	_, m, c := testServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	j, err := c.SubmitWait(ctx, smallReq(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if j.State != "done" || j.CacheHit || j.Result == nil {
+		t.Fatalf("first run: state=%s cacheHit=%v result=%v (err %q)", j.State, j.CacheHit, j.Result, j.Error)
+	}
+	if j.CyclesDone != j.CyclesTotal || j.CyclesTotal != 500 {
+		t.Fatalf("progress: %d/%d, want 500/500", j.CyclesDone, j.CyclesTotal)
+	}
+
+	res, err := c.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res != *j.Result {
+		t.Fatalf("result endpoint diverged from job snapshot")
+	}
+
+	j2, err := c.Submit(ctx, smallReq(1))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !j2.CacheHit || j2.State != "done" {
+		t.Fatalf("resubmission: cacheHit=%v state=%s, want cached done", j2.CacheHit, j2.State)
+	}
+	if *j2.Result != *j.Result {
+		t.Fatalf("cached result differs from original")
+	}
+	if s := m.Stats(); s["completed"] != 1 || s["cache_hits"] != 1 {
+		t.Fatalf("stats after cache hit: %v", s)
+	}
+}
+
+// TestDaemonCancel cancels an in-flight job over HTTP and checks the pool
+// still serves the next job.
+func TestDaemonCancel(t *testing.T) {
+	_, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	long := smallReq(2)
+	long.Spec.Measure = 8_000_000
+	j, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	j, err = c.Wait(ctx, j.ID)
+	if err != nil || j.State != "canceled" {
+		t.Fatalf("after cancel: state=%s err=%v", j.State, err)
+	}
+	if _, err := c.Result(ctx, j.ID); err == nil {
+		t.Fatal("result of canceled job did not error")
+	}
+
+	j2, err := c.SubmitWait(ctx, smallReq(3))
+	if err != nil || j2.State != "done" {
+		t.Fatalf("post-cancel job: state=%s err=%v", j2.State, err)
+	}
+}
+
+// TestDaemonErrors maps service failures onto HTTP statuses.
+func TestDaemonErrors(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	bad := smallReq(4)
+	bad.Spec.Topology = "torus8x8"
+	_, err := c.Submit(ctx, bad)
+	apiErr, ok := err.(*nocdclient.APIError)
+	if !ok || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad topology: err %v, want 400 APIError", err)
+	}
+
+	if _, err := c.Job(ctx, "nope"); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("unknown job: %v, want 404", err)
+	}
+	if _, err := c.Cancel(ctx, "nope"); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("cancel unknown job: %v, want 404", err)
+	}
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"bogus`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func isStatus(err error, status int) bool {
+	apiErr, ok := err.(*nocdclient.APIError)
+	return ok && apiErr.Status == status
+}
+
+// TestDaemonWatchStream reads the NDJSON progress stream: every line must
+// decode as a job snapshot and the last one must be terminal.
+func TestDaemonWatchStream(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req := smallReq(5)
+	req.Spec.Measure = 300_000 // long enough for a few stream ticks
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + j.ID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var last nocdclient.Job
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d: %v (%s)", lines, err, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 || last.State != "done" {
+		t.Fatalf("stream ended after %d lines in state %q, want terminal done", lines, last.State)
+	}
+	if last.CyclesDone != last.CyclesTotal {
+		t.Fatalf("final stream line shows partial progress %d/%d", last.CyclesDone, last.CyclesTotal)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/internal/version"
 	"pseudocircuit/noc"
 )
 
@@ -56,8 +57,15 @@ func main() {
 		valMetrics = flag.String("validate-metrics", "", "validate a metrics JSONL file against the export schema and exit")
 		valEvents  = flag.String("validate-events", "", "validate an event JSONL file against the export schema and exit")
 		valTrace   = flag.String("validate-trace", "", "validate a Chrome trace_event file and exit")
+
+		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("nocsim"))
+		return
+	}
 
 	if *valMetrics != "" || *valEvents != "" || *valTrace != "" {
 		validateAndExit(*valMetrics, *valEvents, *valTrace)

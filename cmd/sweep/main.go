@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"pseudocircuit/internal/experiments"
+	"pseudocircuit/internal/version"
 )
 
 // tabler lets every figure result render uniformly.
@@ -33,8 +34,15 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		progress = flag.Bool("progress", false, "report live per-grid-point progress on stderr")
+
+		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("sweep"))
+		return
+	}
 
 	o := experiments.Options{Warmup: *warmup, Measure: *measure, Seed: *seed}
 	if *benches != "" {

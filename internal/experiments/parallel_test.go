@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"pseudocircuit/noc"
@@ -42,6 +43,73 @@ func TestForEachParallelMatchesSequential(t *testing.T) {
 		for i := range seq {
 			if !reflect.DeepEqual(seq[i], par[i]) {
 				t.Errorf("workers=%d index %d diverged:\nseq: %+v\npar: %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// TestForEachNZeroWork: n=0 must return immediately — no worker goroutines,
+// no fn calls, no hang on the work channel — for every worker count
+// (including the degenerate 0 and negative ones).
+func TestForEachNZeroWork(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 4} {
+		calls := 0
+		forEachN(0, workers, func(i int, pool *noc.Pool) {
+			calls++
+		})
+		if calls != 0 {
+			t.Errorf("workers=%d: fn called %d times for n=0", workers, calls)
+		}
+	}
+}
+
+// TestForEachNWorkersExceedN: with more workers than work items the
+// executor clamps rather than spawning idle goroutines, and still runs each
+// index exactly once with a non-nil worker-local pool.
+func TestForEachNWorkersExceedN(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	counts := make([]int, n)
+	pools := make(map[*noc.Pool]bool)
+	forEachN(n, 64, func(i int, pool *noc.Pool) {
+		if pool == nil {
+			t.Errorf("nil pool for index %d", i)
+			return
+		}
+		mu.Lock()
+		counts[i]++
+		pools[pool] = true
+		mu.Unlock()
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+	if len(pools) > n {
+		t.Errorf("%d distinct pools for %d work items: workers not clamped", len(pools), n)
+	}
+}
+
+// TestForEachNSingleWorkerIsSequential: workers=1 (and below) must run on
+// the calling goroutine in index order — callers rely on this for
+// deterministic sequential baselines.
+func TestForEachNSingleWorkerIsSequential(t *testing.T) {
+	for _, workers := range []int{0, 1} {
+		var order []int
+		var pools []*noc.Pool
+		forEachN(5, workers, func(i int, pool *noc.Pool) {
+			order = append(order, i) // unsynchronized: must be one goroutine
+			pools = append(pools, pool)
+		})
+		for k, i := range order {
+			if k != i {
+				t.Fatalf("workers=%d: position %d got index %d", workers, k, i)
+			}
+		}
+		for k := 1; k < len(pools); k++ {
+			if pools[k] != pools[0] {
+				t.Errorf("workers=%d: sequential run switched pools at index %d", workers, k)
 			}
 		}
 	}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func keyOf(t *testing.T, raw string) string {
+	t.Helper()
+	r, err := DecodeRequest([]byte(raw))
+	if err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	_, key, _, err := Canonicalize(r)
+	if err != nil {
+		t.Fatalf("canonicalize %s: %v", raw, err)
+	}
+	return key
+}
+
+// TestCanonicalKeyInsensitiveToSpelling: semantically identical specs hash
+// identically — reordered fields, defaults spelled out versus omitted,
+// case-insensitive names, abbreviated pattern names.
+func TestCanonicalKeyInsensitiveToSpelling(t *testing.T) {
+	terse := keyOf(t, `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1}}`)
+	spellings := map[string]string{
+		"reordered fields": `{"workload":{"rate":0.1},"scheme":"pseudo+s+b","topology":"mesh8x8"}`,
+		"defaults filled": `{"topology":"mesh8x8","scheme":"pseudo+s+b","routing":"xy","va":"dynamic",
+			"staticKey":"destination","numVCs":4,"bufDepth":4,"seed":1,"warmup":1000,"measure":10000,
+			"workload":{"kind":"synthetic","pattern":"uniform","rate":0.1,"packetSize":5}}`,
+		"case and aliases": `{"topology":"mesh8x8","scheme":"PSEUDO+S+B","routing":"XY",
+			"workload":{"pattern":"UR","rate":0.1}}`,
+	}
+	for name, raw := range spellings {
+		if got := keyOf(t, raw); got != terse {
+			t.Errorf("%s: key %s differs from terse form %s", name, got, terse)
+		}
+	}
+}
+
+// TestCanonicalKeySensitiveToMeaning: anything that changes the simulation
+// changes the key.
+func TestCanonicalKeySensitiveToMeaning(t *testing.T) {
+	base := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1}}`
+	variants := map[string]string{
+		"seed":      `{"topology":"mesh8x8","scheme":"pseudo+s+b","seed":2,"workload":{"rate":0.1}}`,
+		"scheme":    `{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"topology":  `{"topology":"mesh4x4","scheme":"pseudo+s+b","workload":{"rate":0.1}}`,
+		"rate":      `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.2}}`,
+		"pattern":   `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"pattern":"transpose","rate":0.1}}`,
+		"va":        `{"topology":"mesh8x8","scheme":"pseudo+s+b","va":"static","workload":{"rate":0.1}}`,
+		"routing":   `{"topology":"mesh8x8","scheme":"pseudo+s+b","routing":"o1turn","workload":{"rate":0.1}}`,
+		"numVCs":    `{"topology":"mesh8x8","scheme":"pseudo+s+b","numVCs":8,"workload":{"rate":0.1}}`,
+		"measure":   `{"topology":"mesh8x8","scheme":"pseudo+s+b","measure":20000,"workload":{"rate":0.1}}`,
+		"cmp":       `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"kind":"cmp","benchmark":"specjbb"}}`,
+		"benchmark": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"kind":"cmp","benchmark":"fft"}}`,
+	}
+	baseKey := keyOf(t, base)
+	seen := map[string]string{baseKey: "base"}
+	for name, raw := range variants {
+		k := keyOf(t, raw)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s: key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing a canonical request is a fixed
+// point — same struct, same key.
+func TestCanonicalIdempotent(t *testing.T) {
+	r, err := DecodeRequest([]byte(`{"topology":"cmesh4x4x4","scheme":"pseudo+b","va":"static","workload":{"pattern":"bc","rate":0.05}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, k1, _, err := Canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, k2, _, err := Canonicalize(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("canonicalization not idempotent: %s then %s", k1, k2)
+	}
+	if c1 != c2 {
+		t.Fatalf("canonical form not a fixed point:\n%+v\n%+v", c1, c2)
+	}
+}
+
+// TestDecodeRequestStrict: unknown fields and trailing garbage are rejected
+// at decode time with ErrBadRequest.
+func TestDecodeRequestStrict(t *testing.T) {
+	bad := []string{
+		`{"topology":"mesh8x8","scheme":"pseudo","wrokload":{"rate":0.1}}`, // typo field
+		`{"topology":"mesh8x8","scheme":"pseudo"} trailing`,
+		`{"topology":`,
+		`[1,2,3]`,
+		``,
+	}
+	for _, raw := range bad {
+		if _, err := DecodeRequest([]byte(raw)); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("DecodeRequest(%q) err = %v, want ErrBadRequest", raw, err)
+		}
+	}
+}
+
+// TestCanonicalizeRejects: hostile or nonsensical specs fail closed with
+// ErrBadRequest (never a panic) before reaching a worker.
+func TestCanonicalizeRejects(t *testing.T) {
+	bad := map[string]string{
+		"negative mesh dims": `{"topology":"mesh-4x-4","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"degenerate mesh":    `{"topology":"mesh1x1","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"huge mesh":          `{"topology":"mesh4096x4096","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"huge concentration": `{"topology":"cmesh4x4x4096","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"bare cmesh":         `{"topology":"cmesh","scheme":"pseudo","workload":{"rate":0.1}}`,
+		"rate over 1":        `{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":1.5}}`,
+		"zero rate":          `{"topology":"mesh8x8","scheme":"pseudo","workload":{}}`,
+		"cmp plus synthetic": `{"topology":"mesh8x8","scheme":"pseudo","workload":{"kind":"cmp","benchmark":"fft","rate":0.1}}`,
+		"cmp wrong size":     `{"topology":"mesh4x4","scheme":"pseudo","workload":{"kind":"cmp","benchmark":"fft"}}`,
+		"synthetic w/ bench": `{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":0.1,"benchmark":"fft"}}`,
+		"unknown kind":       `{"topology":"mesh8x8","scheme":"pseudo","workload":{"kind":"openloop","rate":0.1}}`,
+	}
+	for name, raw := range bad {
+		r, err := DecodeRequest([]byte(raw))
+		if err != nil {
+			t.Errorf("%s: failed at decode (%v), want canonicalize-time rejection", name, err)
+			continue
+		}
+		if _, _, _, err := Canonicalize(r); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err %v, want ErrBadRequest", name, err)
+		}
+		if err != nil && strings.Contains(strings.ToLower(err.Error()), "panic") {
+			t.Errorf("%s: rejection leaked a panic: %v", name, err)
+		}
+	}
+}

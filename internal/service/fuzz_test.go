@@ -1,0 +1,51 @@
+package service
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRequest fuzzes the job-request decode + canonicalize path the
+// daemon runs on every POST /jobs body. The contract: malformed input must
+// come back as ErrBadRequest — never a panic (a panic here would take down
+// a worker-pool submission path) and never an unbounded allocation (the
+// topology bounds run before any topology is built). Valid input must
+// canonicalize to a fixed point.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1}}`))
+	f.Add([]byte(`{"topology":"cmesh4x4x4","scheme":"baseline","va":"static","seed":9,"workload":{"kind":"cmp","benchmark":"specjbb"}}`))
+	f.Add([]byte(`{"topology":"fbfly4x4x4","scheme":"pseudo","routing":"o1turn","workload":{"pattern":"bc","rate":0.3}}`))
+	f.Add([]byte(`{"topology":"mesh-1x-1","scheme":"pseudo","workload":{"rate":0.1}}`))
+	f.Add([]byte(`{"topology":"mesh99999999x99999999","scheme":"pseudo","workload":{"rate":0.1}}`))
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":1e308}}`))
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","measure":-5,"workload":{"rate":0.1}}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("decode error not ErrBadRequest: %v", err)
+			}
+			return
+		}
+		canon, key, _, err := Canonicalize(r)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("canonicalize error not ErrBadRequest: %v", err)
+			}
+			return
+		}
+		canon2, key2, _, err := Canonicalize(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-canonicalization: %v", err)
+		}
+		if key2 != key || canon2 != canon {
+			t.Fatalf("canonicalization not idempotent for %s:\nkey  %s vs %s\nform %+v vs %+v",
+				data, key, key2, canon, canon2)
+		}
+	})
+}

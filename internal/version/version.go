@@ -1,0 +1,44 @@
+// Package version renders a build identifier for the repo's binaries from
+// the information the Go linker embeds, so a deployed nocsim/sweep/nocd can
+// always say what it was built from.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line identifier for the named command:
+// module version (when built as a versioned dependency), VCS revision and
+// dirty marker (when built from a checkout), and the Go toolchain.
+func String(cmd string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return cmd + " (no build info)"
+	}
+	var b strings.Builder
+	b.WriteString(cmd)
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		fmt.Fprintf(&b, " %s", v)
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " %s%s", rev, modified)
+	}
+	fmt.Fprintf(&b, " (%s)", info.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package noc_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pseudocircuit/noc"
+)
+
+func ctxExperiment() noc.Experiment {
+	return noc.Experiment{
+		Topology: noc.Mesh(4, 4),
+		Scheme:   noc.PseudoSB,
+		Routing:  noc.XY,
+		Policy:   noc.StaticVA,
+		Warmup:   300,
+		Measure:  1500,
+	}
+}
+
+// TestRunContextMatchesRun proves the chunked, cancellable path is
+// bit-identical to the plain run: chunking only changes where the loop
+// pauses, never the cycle sequence.
+func TestRunContextMatchesRun(t *testing.T) {
+	e := ctxExperiment()
+	w := noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10}
+	want := e.RunSynthetic(w)
+	for _, every := range []int{0, 1, 7, 100, 10000} {
+		got, err := e.RunContext(context.Background(), e.SyntheticWorkload(w), every)
+		if err != nil {
+			t.Fatalf("every=%d: unexpected error %v", every, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("every=%d diverged from Run:\ngot:  %+v\nwant: %+v", every, got, want)
+		}
+	}
+}
+
+// TestRunContextCancelledBeforeStart returns immediately without simulating.
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	e := ctxExperiment()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := e.Build()
+	_, err := e.RunOnContext(ctx, n, e.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10}), 100, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n.Now() != 0 {
+		t.Fatalf("cancelled-before-start run advanced to cycle %d", n.Now())
+	}
+}
+
+// TestRunContextCancelMidRun cancels from the between-chunk callback and
+// checks the run stops at the next chunk boundary, not at the end.
+func TestRunContextCancelMidRun(t *testing.T) {
+	e := ctxExperiment()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := e.Build()
+	const every = 100
+	chunks := 0
+	_, err := e.RunOnContext(ctx, n, e.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10}), every, func(*noc.Network) {
+		chunks++
+		if chunks == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := int(n.Now()); got != 3*every {
+		t.Fatalf("run stopped at cycle %d, want exactly %d (one chunk after cancel)", got, 3*every)
+	}
+}

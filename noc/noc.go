@@ -20,6 +20,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -244,6 +245,13 @@ func (e Experiment) defaults() Experiment {
 	return e
 }
 
+// Protocol returns the warmup and measured cycle counts the run methods
+// will use after applying defaults (for progress reporting).
+func (e Experiment) Protocol() (warmup, measure int) {
+	e = e.defaults()
+	return e.Warmup, e.Measure
+}
+
 // Build constructs the network for this experiment without running it.
 func (e Experiment) Build() *Network {
 	e = e.defaults()
@@ -339,6 +347,53 @@ func (e Experiment) RunOnObserved(n *Network, w Workload, every int, fn func(n *
 	n.ResetStats()
 	chunked(e.Measure)
 	return collect(n, e.Measure)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// chunks of at most every cycles (0 selects 1000), so a cancelled context
+// stops the simulation within one chunk. It returns the context's error on
+// cancellation and a complete Result otherwise. An uncancelled RunContext is
+// bit-identical to Run: chunking never changes the cycle sequence, only
+// where the loop pauses to look at the context.
+func (e Experiment) RunContext(ctx context.Context, w Workload, every int) (Result, error) {
+	return e.RunOnContext(ctx, e.Build(), w, every, nil)
+}
+
+// RunOnContext is RunOnObserved with cancellation: fn (which may be nil) is
+// invoked between chunks exactly as in RunOnObserved, and the context is
+// polled at the same chunk boundaries. On cancellation the network is left
+// mid-run (callers inspecting it see a partial simulation) and the zero
+// Result is returned with ctx.Err(). every <= 0 selects 1000-cycle chunks.
+func (e Experiment) RunOnContext(ctx context.Context, n *Network, w Workload, every int, fn func(n *Network)) (Result, error) {
+	e = e.defaults()
+	if every <= 0 {
+		every = 1000
+	}
+	chunked := func(total int) error {
+		for done := 0; done < total; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c := every
+			if rem := total - done; rem < c {
+				c = rem
+			}
+			n.Run(w, c)
+			done += c
+			if fn != nil {
+				fn(n)
+			}
+		}
+		return nil
+	}
+	if err := chunked(e.Warmup); err != nil {
+		return Result{}, err
+	}
+	n.ResetStats()
+	if err := chunked(e.Measure); err != nil {
+		return Result{}, err
+	}
+	return collect(n, e.Measure), nil
 }
 
 // WriteMetricsJSONL writes the network's per-router counters, time-series

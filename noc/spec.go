@@ -34,6 +34,101 @@ type Spec struct {
 	Measure   int    `json:"measure,omitempty"`
 }
 
+// WorkloadSpec is the serializable form of a workload, the counterpart of
+// Spec for the traffic side of an experiment. The zero value selects the
+// paper's default: uniform-random synthetic traffic with 5-flit packets.
+type WorkloadSpec struct {
+	// Kind is "synthetic" (default) or "cmp".
+	Kind string `json:"kind,omitempty"`
+	// Pattern is "uniform", "bitcomp" or "transpose" (synthetic only).
+	Pattern string `json:"pattern,omitempty"`
+	// Rate is the per-node flit injection rate (synthetic only).
+	Rate float64 `json:"rate,omitempty"`
+	// PacketSize is the flit count per packet; 0 selects the paper's 5.
+	PacketSize int `json:"packetSize,omitempty"`
+	// Benchmark names a CMP profile (kind "cmp" only).
+	Benchmark string `json:"benchmark,omitempty"`
+}
+
+// Normalize validates the spec and fills every defaulted field with its
+// canonical value (lowercased names, paper defaults), so that two
+// semantically identical specs normalize to identical structs. It is the
+// basis of content-addressed result caching in the simulation service.
+func (w WorkloadSpec) Normalize() (WorkloadSpec, error) {
+	switch strings.ToLower(w.Kind) {
+	case "", "synthetic":
+		w.Kind = "synthetic"
+		p, err := ParsePattern(w.Pattern)
+		if err != nil {
+			return w, err
+		}
+		w.Pattern = p.String()
+		if w.Benchmark != "" {
+			return w, fmt.Errorf("noc: synthetic workload cannot name a benchmark (%q)", w.Benchmark)
+		}
+		if w.Rate <= 0 || w.Rate > 1 {
+			return w, fmt.Errorf("noc: synthetic injection rate %v outside (0, 1]", w.Rate)
+		}
+		if w.PacketSize < 0 {
+			return w, fmt.Errorf("noc: negative packet size %d", w.PacketSize)
+		}
+		if w.PacketSize == 0 {
+			w.PacketSize = 5
+		}
+	case "cmp":
+		w.Kind = "cmp"
+		if w.Pattern != "" || w.Rate != 0 || w.PacketSize != 0 {
+			return w, fmt.Errorf("noc: cmp workload takes only a benchmark, not synthetic fields")
+		}
+		found := false
+		for _, name := range CMPBenchmarks() {
+			if name == w.Benchmark {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("noc: unknown benchmark %q (have %v)", w.Benchmark, CMPBenchmarks())
+		}
+	default:
+		return w, fmt.Errorf("noc: unknown workload kind %q", w.Kind)
+	}
+	return w, nil
+}
+
+// Workload materializes the spec against an experiment (which supplies the
+// topology and seed). Callers should Normalize first; Workload normalizes
+// again defensively.
+func (w WorkloadSpec) Workload(e Experiment) (Workload, error) {
+	w, err := w.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if w.Kind == "cmp" {
+		return e.CMPWorkload(w.Benchmark)
+	}
+	p, err := ParsePattern(w.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	return e.SyntheticWorkload(Synthetic{Pattern: p, Rate: w.Rate, PacketSize: w.PacketSize}), nil
+}
+
+// ParsePattern resolves a synthetic traffic-pattern name (long form or the
+// paper's two-letter abbreviation); empty selects uniform random.
+func ParsePattern(s string) (Pattern, error) {
+	switch strings.ToLower(s) {
+	case "", "uniform", "ur":
+		return UniformRandom, nil
+	case "bitcomp", "bc":
+		return BitComplement, nil
+	case "transpose", "bp":
+		return BitPermutation, nil
+	default:
+		return UniformRandom, fmt.Errorf("noc: unknown traffic pattern %q", s)
+	}
+}
+
 // ParseTopology resolves a topology name of the forms Spec.Topology
 // documents.
 func ParseTopology(s string) (Topology, error) {

@@ -1,0 +1,205 @@
+// Package nocdclient is a small Go client for the nocd simulation daemon.
+// It speaks the daemon's JSON wire protocol and depends only on the public
+// noc package, so external programs can submit experiments, follow their
+// progress and fetch cached results:
+//
+//	c := nocdclient.New("http://localhost:8080")
+//	job, err := c.SubmitWait(ctx, nocdclient.Request{
+//		Spec:     noc.Spec{Topology: "mesh8x8", Scheme: "pseudo+s+b", VA: "static"},
+//		Workload: noc.WorkloadSpec{Pattern: "uniform", Rate: 0.1},
+//	})
+//	fmt.Println(job.Result.AvgLatency, job.CacheHit)
+package nocdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"pseudocircuit/noc"
+)
+
+// Request mirrors the daemon's submission body: an experiment spec with the
+// workload nested under "workload".
+type Request struct {
+	noc.Spec
+	Workload noc.WorkloadSpec `json:"workload"`
+}
+
+// Job mirrors the daemon's job snapshot. State is one of "queued",
+// "running", "done", "failed", "canceled".
+type Job struct {
+	ID          string      `json:"id"`
+	Key         string      `json:"key"`
+	State       string      `json:"state"`
+	CacheHit    bool        `json:"cacheHit"`
+	Dedup       bool        `json:"dedup"`
+	CyclesDone  int         `json:"cyclesDone"`
+	CyclesTotal int         `json:"cyclesTotal"`
+	Request     Request     `json:"request"`
+	Result      *noc.Result `json:"result,omitempty"`
+	Error       string      `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has finished (successfully or not).
+func (j Job) Terminal() bool {
+	return j.State == "done" || j.State == "failed" || j.State == "canceled"
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("nocd: %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one nocd daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://localhost:8080").
+// The zero-timeout default http.Client is used; replace it with WithHTTP for
+// custom transports.
+func New(base string) *Client {
+	return &Client{base: base, http: http.DefaultClient}
+}
+
+// WithHTTP sets the underlying HTTP client and returns c.
+func (c *Client) WithHTTP(h *http.Client) *Client {
+	c.http = h
+	return c
+}
+
+// Submit enqueues a job (or hits the cache / joins an identical in-flight
+// job) and returns immediately with its snapshot.
+func (c *Client) Submit(ctx context.Context, r Request) (Job, error) {
+	return c.submit(ctx, r, false)
+}
+
+// SubmitWait submits and blocks until the job is terminal.
+func (c *Client) SubmitWait(ctx context.Context, r Request) (Job, error) {
+	j, err := c.submit(ctx, r, true)
+	if err != nil || j.Terminal() {
+		return j, err
+	}
+	return c.Wait(ctx, j.ID)
+}
+
+func (c *Client) submit(ctx context.Context, r Request, wait bool) (Job, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return Job{}, err
+	}
+	u := c.base + "/jobs"
+	if wait {
+		u += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var j Job
+	return j, c.do(req, &j)
+}
+
+// Job fetches the current snapshot.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	return c.get(ctx, "/jobs/"+url.PathEscape(id))
+}
+
+// Wait long-polls until the job is terminal or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
+	for {
+		j, err := c.get(ctx, "/jobs/"+url.PathEscape(id)+"?wait=1")
+		if err != nil || j.Terminal() {
+			return j, err
+		}
+		if err := ctx.Err(); err != nil {
+			return j, err
+		}
+	}
+}
+
+// Result fetches the finished job's result.
+func (c *Client) Result(ctx context.Context, id string) (noc.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return noc.Result{}, err
+	}
+	var res noc.Result
+	return res, c.do(req, &res)
+}
+
+// Cancel requests cancellation and returns the (possibly still running)
+// snapshot; poll Wait for the terminal state.
+func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/jobs/"+url.PathEscape(id)+"/cancel", nil)
+	if err != nil {
+		return Job{}, err
+	}
+	var j Job
+	return j, c.do(req, &j)
+}
+
+// Health pings /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Message: "health check failed"}
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return Job{}, err
+	}
+	var j Job
+	return j, c.do(req, &j)
+}
+
+// do executes the request and decodes a 2xx body into out, or a non-2xx
+// {"error": ...} body into an APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(body)
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return json.Unmarshal(body, out)
+}
