@@ -8,6 +8,7 @@
 package pseudocircuit_test
 
 import (
+	"runtime"
 	"testing"
 
 	"pseudocircuit/internal/experiments"
@@ -223,6 +224,35 @@ func BenchmarkSimulatorNaiveKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n.Step(w)
 	}
+}
+
+// BenchmarkFig12Sequential / BenchmarkFig12Parallel measure the sharded
+// parallel kernel against the sequential one at a Fig. 12-style operating
+// point (8×8 mesh, Pseudo+S+B, loaded uniform-random traffic). Parallel
+// drives Run so the worker goroutines are live (one start/stop per
+// iteration batch, not per cycle); the ratio of the two ns/cycle figures is
+// the parallel speedup at GOMAXPROCS workers.
+func BenchmarkFig12Sequential(b *testing.B) { benchFig12Kernel(b, 0) }
+
+func BenchmarkFig12Parallel(b *testing.B) { benchFig12Kernel(b, runtime.GOMAXPROCS(0)) }
+
+func benchFig12Kernel(b *testing.B, workers int) {
+	exp := noc.Experiment{
+		Topology: noc.Mesh(8, 8),
+		Scheme:   noc.PseudoSB,
+		Routing:  noc.XY,
+		Policy:   noc.StaticVA,
+		Workers:  workers,
+		Warmup:   100,
+		Measure:  1,
+	}
+	n := exp.Build()
+	w := exp.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.18})
+	n.Run(w, 2000) // reach the zero-alloc steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(w, b.N)
+	b.ReportMetric(float64(n.Stats.FlitsDelivered)/float64(b.N), "flits/cycle")
 }
 
 func BenchmarkSimulatorCMP(b *testing.B) {

@@ -74,9 +74,17 @@ func handleSubmit(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("wait") != "" {
-		if jw, err := m.Wait(r.Context(), j.ID); err == nil {
-			j = jw
+		jw, err := m.Wait(r.Context(), j.ID)
+		if err != nil {
+			// The wait failed, so jw is a stale snapshot — a 200 here would
+			// hand the client a non-terminal state as if the job finished.
+			if r.Context().Err() != nil {
+				return // client gone; nobody is reading the response
+			}
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
 		}
+		j = jw
 	}
 	status := http.StatusAccepted
 	if j.State.Terminal() {
@@ -97,10 +105,16 @@ func handleStatus(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 	case q.Get("watch") != "":
 		streamStatus(m, w, r, id)
 	case q.Get("wait") != "":
-		if jw, err := m.Wait(r.Context(), id); err == nil {
-			j = jw
+		jw, err := m.Wait(r.Context(), id)
+		if err != nil {
+			// Same contract as submit?wait: never 200 with a stale snapshot.
+			if r.Context().Err() != nil {
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, j)
+		writeJSON(w, http.StatusOK, jw)
 	default:
 		writeJSON(w, http.StatusOK, j)
 	}

@@ -196,3 +196,136 @@ func TestDaemonWatchStream(t *testing.T) {
 		t.Fatalf("final stream line shows partial progress %d/%d", last.CyclesDone, last.CyclesTotal)
 	}
 }
+
+// TestDaemonWatchStreamCanceledJob: the stream's contract is that the last
+// line is always the terminal snapshot, whatever the terminal state — cancel
+// the job mid-stream and the stream must end on a "canceled" line, not just
+// stop.
+func TestDaemonWatchStreamCanceledJob(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req := smallReq(6)
+	req.Spec.Measure = 8_000_000
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + j.ID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var last nocdclient.Job
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d: %v (%s)", lines, err, sc.Text())
+		}
+		lines++
+		if lines == 1 {
+			if _, err := c.Cancel(ctx, j.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 || last.State != "canceled" {
+		t.Fatalf("stream ended after %d lines in state %q, want terminal canceled", lines, last.State)
+	}
+}
+
+// TestDaemonWatchStreamClientCancel: when the watcher goes away the stream
+// handler must return promptly (within roughly one tick), not keep encoding
+// into a dead connection for the life of the job.
+func TestDaemonWatchStreamClientCancel(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req := smallReq(7)
+	req.Spec.Measure = 8_000_000
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Cancel(ctx, j.ID)
+
+	streamCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	hr, err := http.NewRequestWithContext(streamCtx, "GET", srv.URL+"/jobs/"+j.ID+"?watch=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first stream line: %v", sc.Err())
+	}
+	stop()
+	start := time.Now()
+	for sc.Scan() {
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stream kept flowing %v after client cancel", elapsed)
+	}
+}
+
+// TestDaemonWaitClientDisconnect: a ?wait request whose client has gone away
+// must not be answered at all — the old behaviour wrote 200 with a stale
+// non-terminal snapshot, which a proxy or buffered client could mistake for
+// completion. Exercised for both GET /jobs/{id}?wait and POST /jobs?wait by
+// serving the mux directly with an already-canceled request context.
+func TestDaemonWaitClientDisconnect(t *testing.T) {
+	m := service.New(service.Config{Workers: 1, Chunk: 100})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	mux := newMux(m)
+
+	long := smallReq(8)
+	long.Spec.Measure = 8_000_000
+	body, err := json.Marshal(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := service.DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Cancel(j.ID)
+
+	gone, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	hr := httptest.NewRequest("GET", "/jobs/"+j.ID+"?wait=1", nil).WithContext(gone)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, hr)
+	if rr.Body.Len() != 0 {
+		t.Fatalf("status?wait for disconnected client wrote a body: %s", rr.Body.String())
+	}
+
+	hr = httptest.NewRequest("POST", "/jobs?wait=1", strings.NewReader(string(body))).WithContext(gone)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, hr)
+	if rr.Body.Len() != 0 {
+		t.Fatalf("submit?wait for disconnected client wrote a body: %s", rr.Body.String())
+	}
+}

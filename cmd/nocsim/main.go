@@ -42,6 +42,7 @@ func main() {
 		warmup    = flag.Int("warmup", 1000, "warmup cycles")
 		measure   = flag.Int("measure", 10000, "measured cycles")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		workers   = flag.Int("workers", 0, "cycle-kernel worker goroutines per cycle (0/1 sequential); any value gives bit-identical results")
 		useEVC    = flag.Bool("evc", false, "use the Express-Virtual-Channel comparison router (scheme must be baseline)")
 		config    = flag.String("config", "", "JSON experiment spec file (overrides the individual flags)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
@@ -95,6 +96,10 @@ func main() {
 			Seed:     *seed,
 			UseEVC:   *useEVC,
 		}
+	}
+
+	if *workers > 0 {
+		exp.Workers = *workers
 	}
 
 	if *metricsOut != "" || *pprofAddr != "" {

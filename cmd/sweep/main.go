@@ -32,6 +32,7 @@ func main() {
 		measure  = flag.Int("measure", 10000, "measured cycles")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		seed     = flag.Uint64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "cycle-kernel worker goroutines per run (0/1 sequential); any value gives bit-identical results")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		progress = flag.Bool("progress", false, "report live per-grid-point progress on stderr")
 
@@ -44,7 +45,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	o := experiments.Options{Warmup: *warmup, Measure: *measure, Seed: *seed, Workers: *workers}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}

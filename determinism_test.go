@@ -4,10 +4,17 @@
 package pseudocircuit_test
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"pseudocircuit/internal/cmp"
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/trace"
 	"pseudocircuit/noc"
 )
 
@@ -39,10 +46,32 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// kernelPoint selects a cycle kernel through the public API: the naive
+// reference loop, the default active-set kernel, or the sharded parallel
+// kernel at a given worker count.
+type kernelPoint struct {
+	name    string
+	naive   bool
+	workers int
+}
+
+// kernelTriangle is checked in every equivalence test below: the naive
+// reference, the sequential active-set kernel, and the parallel kernel at
+// the worker counts the acceptance harness requires.
+var kernelTriangle = []kernelPoint{
+	{"naive", true, 0},
+	{"active", false, 0},
+	{"par1", false, 1},
+	{"par2", false, 2},
+	{"par4", false, 4},
+	{"par8", false, 8},
+}
+
 // TestNaiveKernelEquivalence checks the NaiveKernel reference loop against
-// the default active-set kernel through the public API, including the EVC
-// comparison router and the closed-loop CMP substrate, whose workloads have
-// idle phases that exercise router deactivation.
+// the default active-set kernel and the parallel kernel through the public
+// API, including the EVC comparison router and the closed-loop CMP
+// substrate, whose workloads have idle phases that exercise router
+// deactivation.
 func TestNaiveKernelEquivalence(t *testing.T) {
 	base := noc.Experiment{
 		Topology: noc.Mesh(4, 4),
@@ -53,50 +82,115 @@ func TestNaiveKernelEquivalence(t *testing.T) {
 		Measure:  3000,
 	}
 
+	triangle := func(t *testing.T, run func(k kernelPoint) noc.Result) {
+		t.Helper()
+		ref := run(kernelTriangle[0])
+		for _, k := range kernelTriangle[1:] {
+			if got := run(k); !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s and %s kernels diverge:\n%s: %+v\n%s: %+v",
+					kernelTriangle[0].name, k.name, kernelTriangle[0].name, ref, k.name, got)
+			}
+		}
+	}
+
 	t.Run("synthetic", func(t *testing.T) {
 		t.Parallel()
-		run := func(naive bool) noc.Result {
+		triangle(t, func(k kernelPoint) noc.Result {
 			e := base
-			e.NaiveKernel = naive
+			e.NaiveKernel = k.naive
+			e.Workers = k.workers
 			return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
-		}
-		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
-			t.Errorf("naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
-		}
+		})
 	})
 
 	t.Run("evc", func(t *testing.T) {
 		t.Parallel()
-		run := func(naive bool) noc.Result {
+		triangle(t, func(k kernelPoint) noc.Result {
 			e := base
 			e.Scheme = noc.Baseline
 			e.UseEVC = true
-			e.NaiveKernel = naive
+			e.NaiveKernel = k.naive
+			e.Workers = k.workers
 			return e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
-		}
-		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
-			t.Errorf("EVC: naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
-		}
+		})
 	})
 
 	t.Run("cmp", func(t *testing.T) {
 		t.Parallel()
-		run := func(naive bool) noc.Result {
+		triangle(t, func(k kernelPoint) noc.Result {
 			e := base
 			e.Topology = noc.CMesh(4, 4, 4)
 			e.Routing = noc.O1TURN
 			e.Policy = noc.DynamicVA
-			e.NaiveKernel = naive
+			e.NaiveKernel = k.naive
+			e.Workers = k.workers
 			r, err := e.RunCMP("fma3d")
 			if err != nil {
 				t.Fatal(err)
 			}
 			return r
-		}
-		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
-			t.Errorf("CMP: naive and active-set kernels diverge:\nnaive:  %+v\nactive: %+v", a, b)
-		}
+		})
 	})
+}
+
+// TestTraceReplayKernelEquivalence closes the workload matrix: a packet
+// trace extracted from the CMP substrate is replayed open-loop (the paper's
+// methodology) through every kernel, driving the network's Drain path
+// rather than the fixed-cycle Run path. All kernels must drain the trace in
+// the same number of cycles with bit-identical statistics and energy.
+func TestTraceReplayKernelEquivalence(t *testing.T) {
+	topo := topology.NewCMesh(4, 4, 4)
+	rec := network.New(network.DefaultConfig(topo))
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, topo.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := cmp.ProfileByName("fft")
+	if !ok {
+		t.Fatal("unknown benchmark fft")
+	}
+	recorder := &trace.Recorder{Inner: cmp.New(topo, cmp.PaperTableI(), prof, sim.NewRNG(1)), W: tw}
+	rec.Run(recorder, 8000)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("extracted an empty trace")
+	}
+
+	run := func(k kernelPoint) *network.Network {
+		cfg := network.DefaultConfig(topology.NewCMesh(4, 4, 4))
+		cfg.Opts = core.DefaultOptions(core.PseudoSB)
+		cfg.Opts.Workers = k.workers
+		cfg.Naive = k.naive
+		n := network.New(cfg)
+		if !n.Drain(trace.NewPlayer(recs), 50*len(recs)+100000) {
+			t.Fatalf("%s: replay did not drain", k.name)
+		}
+		return n
+	}
+	ref := run(kernelTriangle[0])
+	for _, k := range kernelTriangle[1:] {
+		got := run(k)
+		if ref.Now() != got.Now() {
+			t.Errorf("%s drained at cycle %d, %s at %d", kernelTriangle[0].name, ref.Now(), k.name, got.Now())
+		}
+		if !reflect.DeepEqual(ref.Stats, got.Stats) {
+			t.Errorf("trace replay stats diverge (%s vs %s):\nref: %+v\ngot: %+v", kernelTriangle[0].name, k.name, ref.Stats, got.Stats)
+		}
+		if !reflect.DeepEqual(ref.Energy, got.Energy) {
+			t.Errorf("trace replay energy diverges (%s vs %s):\nref: %+v\ngot: %+v", kernelTriangle[0].name, k.name, ref.Energy, got.Energy)
+		}
+	}
 }
 
 // TestPoolReuseDeterminism runs the same experiment twice through one shared

@@ -82,10 +82,3 @@ func main() {
 	}
 	fmt.Println()
 }
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}

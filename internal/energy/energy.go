@@ -61,6 +61,19 @@ func (m *Meter) AddTraversal() { m.Traversals++ }
 // AddArbitration records a switch-arbitration grant.
 func (m *Meter) AddArbitration() { m.Arbitrations++ }
 
+// MergeCounts folds src's event counts into m and zeroes them in src,
+// leaving both meters' Params untouched. It is the shard-drain primitive of
+// the parallel cycle kernel: per-shard meters are merged into the global
+// meter in fixed shard order once per cycle. All fields are sums, so the
+// per-shard grouping cannot change the totals.
+func (m *Meter) MergeCounts(src *Meter) {
+	m.Writes += src.Writes
+	m.Reads += src.Reads
+	m.Traversals += src.Traversals
+	m.Arbitrations += src.Arbitrations
+	src.Writes, src.Reads, src.Traversals, src.Arbitrations = 0, 0, 0, 0
+}
+
 // BufferEnergy returns total buffer energy in pJ.
 func (m *Meter) BufferEnergy() float64 {
 	return float64(m.Writes)*m.BufferWrite + float64(m.Reads)*m.BufferRead

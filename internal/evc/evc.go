@@ -261,7 +261,13 @@ func (r *Router) expressPass(now sim.Cycle) {
 		}
 		in.arrival = nil
 		f.ExpressHops--
-		f.Packet.Hops++
+		// Hop accounting is head-only, as in traverse: the packet visits the
+		// intermediate router once, not once per flit. (Body flits of one
+		// packet occupy different routers in the same cycle, so a per-flit
+		// increment would also be a cross-router write.)
+		if f.Kind.IsHead() {
+			f.Packet.Hops++
+		}
 		r.ExpressForwards++
 		r.worked = true
 		r.cfg.Stats.Traversals++

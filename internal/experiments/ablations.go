@@ -74,6 +74,7 @@ func runAblation(o Options, opts core.Options, key vcalloc.StaticKey) (lat, reus
 			Seed:      o.Seed,
 			Warmup:    o.Warmup,
 			Measure:   o.Measure,
+			Workers:   o.Workers,
 		}
 		r := mustRunCMP(e, b)
 		lat += r.AvgLatency

@@ -25,6 +25,7 @@ type Options struct {
 	Measure    int      // measured cycles (default 10000)
 	Benchmarks []string // benchmark subset for the trace figures (default: all)
 	Seed       uint64   // base seed (default 1)
+	Workers    int      // cycle-kernel workers per run (0/1 sequential); never affects results
 	// Progress, when non-nil, is invoked after each completed simulation run
 	// with the number done so far and the total for the experiment. Runs
 	// execute on a worker pool, but calls are serialized.
@@ -131,6 +132,7 @@ func cmpExperiment(o Options, pool *noc.Pool, s core.Scheme, algo routing.Algori
 		Pool:     pool,
 		Warmup:   o.Warmup,
 		Measure:  o.Measure,
+		Workers:  o.Workers,
 	}
 }
 

@@ -110,6 +110,7 @@ func SpecDepth(o Options) SpecDepthResult {
 				Pool:     pool,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
+				Workers:  o.Workers,
 			}
 			n := e.Build()
 			wl, err := e.CMPWorkload(b)
@@ -170,6 +171,7 @@ func ReuseVsLoad(o Options) ReuseVsLoadResult {
 				Seed:     o.Seed,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
+				Workers:  o.Workers,
 			}
 			return e.RunSynthetic(noc.Synthetic{Pattern: traffic.UniformRandom, Rate: load})
 		}

@@ -41,7 +41,7 @@ func Fig11(o Options) Fig11Result {
 			var basePerFlit float64
 			for si, s := range core.Schemes {
 				r := mustRunCMP(cmpExperiment(o, pool, s, algo, vcalloc.Static), b)
-				perFlit := r.EnergyPJ / float64(maxU64(r.FlitsDelivered, 1))
+				perFlit := r.EnergyPJ / float64(max(r.FlitsDelivered, 1))
 				if si == 0 {
 					basePerFlit = perFlit
 				}
@@ -56,13 +56,6 @@ func Fig11(o Options) Fig11Result {
 		}
 	}
 	return res
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Tables renders Fig. 11 (a) XY and (b) YX.

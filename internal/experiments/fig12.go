@@ -69,6 +69,7 @@ func Fig12(o Options) Fig12Result {
 				Pool:     pool,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
+				Workers:  o.Workers,
 			}
 			r := e.RunSynthetic(noc.Synthetic{Pattern: pc.pattern, Rate: pc.loads[li], PacketSize: 5})
 			lat[si][li] = r.AvgLatency

@@ -53,6 +53,7 @@ func Fig13(o Options) Fig13Result {
 				Seed:     o.Seed,
 				Warmup:   o.Warmup,
 				Measure:  o.Measure,
+				Workers:  o.Workers,
 			}
 			r := mustRunCMP(e, benchmark)
 			if ti == 0 && si == 0 {

@@ -59,6 +59,7 @@ func Fig14(o Options) Fig14Result {
 					Pool:     pool,
 					Warmup:   o.Warmup,
 					Measure:  o.Measure,
+					Workers:  o.Workers,
 				}
 				return mustRunCMP(e, b).AvgNetLatency
 			}

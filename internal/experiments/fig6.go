@@ -47,6 +47,7 @@ func measurePerHop(o Options, s core.Scheme) float64 {
 			Seed:     o.Seed,
 			Warmup:   400,
 			Measure:  2000,
+			Workers:  o.Workers,
 		}
 		w := traffic.NewFlows(traffic.Flow{Src: 0, Dst: dst, Size: 1, Period: 25, Start: sim.Cycle(0)})
 		return e.Run(w).AvgNetLatency

@@ -38,6 +38,7 @@ func RouterHeatmap(o Options) HeatmapResult {
 		Seed:     o.Seed,
 		Warmup:   o.Warmup,
 		Measure:  o.Measure,
+		Workers:  o.Workers,
 		Observe:  noc.Observe{PerRouter: true},
 	}
 	n := e.Build()

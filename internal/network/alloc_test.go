@@ -1,6 +1,7 @@
 package network_test
 
 import (
+	"fmt"
 	"testing"
 
 	"pseudocircuit/internal/core"
@@ -18,38 +19,81 @@ import (
 // the simulator allocates nothing — every flit and packet comes from the
 // pool and returns to it.
 func TestSteadyStateZeroAlloc(t *testing.T) {
+	// workers=0 is the sequential kernel; workers=4 exercises the sharded
+	// parallel kernel's buffering/merge path. Step outside Run serializes
+	// shard phases inline (no goroutines), so the same exactly-zero bound
+	// applies: per-shard pend queues, pools and accumulators must all reach
+	// a steady-state footprint.
+	for _, workers := range []int{0, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			n, w := buildAllocNet(workers)
+
+			// Warm up well past the stats reset so every growable structure
+			// has reached its working-set size.
+			n.Run(w, 2000)
+			n.ResetStats()
+			n.Run(w, 2000)
+
+			// Growable structures (histogram buckets, map buckets, slice
+			// capacities) approach their working set asymptotically: rare
+			// latency excursions still add a bucket early on. Require the
+			// alloc rate to decay to exactly zero within a few trials —
+			// steady state must be allocation-free, not merely cheap.
+			const stepsPerRun = 100
+			var avg float64
+			for trial := 0; trial < 8; trial++ {
+				avg = testing.AllocsPerRun(20, func() {
+					for i := 0; i < stepsPerRun; i++ {
+						n.Step(w)
+					}
+				})
+				if avg == 0 {
+					return
+				}
+			}
+			t.Errorf("steady-state Step still allocates after warmup: %.2f allocs per %d steps (want 0)", avg, stepsPerRun)
+		})
+	}
+}
+
+func buildAllocNet(workers int) (*network.Network, network.Workload) {
 	topo := topology.NewMesh(8, 8)
 	cfg := network.DefaultConfig(topo)
 	cfg.Opts = core.DefaultOptions(core.PseudoSB)
+	cfg.Opts.Workers = workers
 	cfg.Algorithm = routing.XY
 	cfg.Policy = vcalloc.Static
 	n := network.New(cfg)
 	w := traffic.NewSynthetic(traffic.Config{
 		Pattern: traffic.UniformRandom, Nodes: topo.Nodes(), Rate: 0.10,
 	}, sim.NewRNG(7))
+	return n, w
+}
 
-	// Warm up well past the stats reset so every growable structure has
-	// reached its working-set size.
+// TestParallelRunSteadyStateAlloc bounds the live-worker path: with worker
+// goroutines running inside Run, the per-cycle simulation work must still be
+// allocation-free. Each Run call may allocate a bounded amount for goroutine
+// startup (the runtime's g structures), but that cost is per-Run, not
+// per-cycle: doubling the cycles must not increase allocations.
+func TestParallelRunSteadyStateAlloc(t *testing.T) {
+	n, w := buildAllocNet(4)
 	n.Run(w, 2000)
 	n.ResetStats()
 	n.Run(w, 2000)
 
-	// Growable structures (histogram buckets, map buckets, slice
-	// capacities) approach their working set asymptotically: rare latency
-	// excursions still add a bucket early on. Require the alloc rate to
-	// decay to exactly zero within a few trials — steady state must be
-	// allocation-free, not merely cheap.
-	const stepsPerRun = 100
-	var avg float64
-	for trial := 0; trial < 8; trial++ {
-		avg = testing.AllocsPerRun(20, func() {
-			for i := 0; i < stepsPerRun; i++ {
-				n.Step(w)
+	allocsFor := func(cycles int) float64 {
+		best := -1.0
+		for trial := 0; trial < 8; trial++ {
+			avg := testing.AllocsPerRun(20, func() { n.Run(w, cycles) })
+			if best < 0 || avg < best {
+				best = avg
 			}
-		})
-		if avg == 0 {
-			return
 		}
+		return best
 	}
-	t.Errorf("steady-state Step still allocates after warmup: %.2f allocs per %d steps (want 0)", avg, stepsPerRun)
+	short, long := allocsFor(100), allocsFor(200)
+	if long > short {
+		t.Errorf("parallel Run allocates per cycle: %.2f allocs for 100 cycles vs %.2f for 200 (want no growth)", short, long)
+	}
 }

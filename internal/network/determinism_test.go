@@ -14,24 +14,50 @@ import (
 	"pseudocircuit/internal/vcalloc"
 )
 
-// buildKernel builds a network with the kernel selected by naive, invariant
+// kernel selects which cycle kernel a determinism run uses: the naive
+// reference loop, the active-set kernel (workers 0), or the sharded
+// parallel kernel (workers > 1).
+type kernel struct {
+	name    string
+	naive   bool
+	workers int
+}
+
+// kernels is the determinism triangle: the naive reference, the sequential
+// active-set kernel, and the parallel kernel across the worker counts the
+// acceptance harness requires. workers=1 must degrade to the sequential
+// kernel; higher counts exercise shard partitioning including shards
+// smaller than a row and clamping (small topologies have < 8 routers).
+var kernels = []kernel{
+	{"naive", true, 0},
+	{"active", false, 0},
+	{"par1", false, 1},
+	{"par2", false, 2},
+	{"par4", false, 4},
+	{"par8", false, 8},
+}
+
+// buildKernel builds a network with the kernel selected by k, invariant
 // checking on, and everything else from the grid point.
-func buildKernel(topo topology.Topology, scheme core.Scheme, algo routing.Algorithm, pol vcalloc.Policy, naive bool) *network.Network {
+func buildKernel(topo topology.Topology, scheme core.Scheme, algo routing.Algorithm, pol vcalloc.Policy, k kernel) *network.Network {
 	cfg := network.DefaultConfig(topo)
 	cfg.Opts = core.DefaultOptions(scheme)
+	cfg.Opts.Workers = k.workers
 	cfg.Algorithm = algo
 	cfg.Policy = pol
-	cfg.Naive = naive
+	cfg.Naive = k.naive
 	n := network.New(cfg)
 	n.CheckInvariants = true
 	return n
 }
 
 // TestActiveSetMatchesNaive is the determinism harness for the
-// work-proportional kernel: for each scheme × topology × workload grid
-// point, run the naive reference loop (tick every router every cycle) and
-// the active-set kernel with the same seed and require bit-identical
-// statistics, energy counters and latency histograms.
+// work-proportional and parallel kernels: for each scheme × topology ×
+// workload grid point, run the naive reference loop (tick every router
+// every cycle), the active-set kernel, and the sharded parallel kernel at
+// workers ∈ {1,2,4,8} with the same seed, and require bit-identical
+// statistics, energy counters and latency histograms across the whole
+// triangle.
 func TestActiveSetMatchesNaive(t *testing.T) {
 	type grid struct {
 		name    string
@@ -99,9 +125,9 @@ func TestActiveSetMatchesNaive(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			run := func(naive bool) *network.Network {
+			run := func(k kernel) *network.Network {
 				topo := tc.topo()
-				n := buildKernel(topo, tc.scheme, tc.algo, tc.pol, naive)
+				n := buildKernel(topo, tc.scheme, tc.algo, tc.pol, k)
 				w := traffic.NewSynthetic(traffic.Config{
 					Pattern: tc.pattern, Nodes: topo.Nodes(), Rate: tc.rate,
 					HotspotNode: 0, HotspotFrac: 0.3,
@@ -113,12 +139,17 @@ func TestActiveSetMatchesNaive(t *testing.T) {
 				n.Run(w, 2500)
 				return n
 			}
-			naive, fast := run(true), run(false)
-			if !reflect.DeepEqual(naive.Stats, fast.Stats) {
-				t.Errorf("stats diverge between naive and active-set kernels:\nnaive: %+v\nfast:  %+v", naive.Stats, fast.Stats)
-			}
-			if !reflect.DeepEqual(naive.Energy, fast.Energy) {
-				t.Errorf("energy diverges between naive and active-set kernels:\nnaive: %+v\nfast:  %+v", naive.Energy, fast.Energy)
+			ref := run(kernels[0])
+			for _, k := range kernels[1:] {
+				got := run(k)
+				if !reflect.DeepEqual(ref.Stats, got.Stats) {
+					t.Errorf("stats diverge between %s and %s kernels:\n%s: %+v\n%s: %+v",
+						kernels[0].name, k.name, kernels[0].name, ref.Stats, k.name, got.Stats)
+				}
+				if !reflect.DeepEqual(ref.Energy, got.Energy) {
+					t.Errorf("energy diverges between %s and %s kernels:\n%s: %+v\n%s: %+v",
+						kernels[0].name, k.name, kernels[0].name, ref.Energy, k.name, got.Energy)
+				}
 			}
 		})
 	}
@@ -128,8 +159,8 @@ func TestActiveSetMatchesNaive(t *testing.T) {
 // packets on fixed paths with idle gaps — the workload most likely to
 // expose a router deactivating too early).
 func TestActiveSetMatchesNaiveFlows(t *testing.T) {
-	run := func(naive bool) *network.Network {
-		n := buildKernel(topology.NewMesh(4, 4), core.PseudoSB, routing.XY, vcalloc.Static, naive)
+	run := func(k kernel) *network.Network {
+		n := buildKernel(topology.NewMesh(4, 4), core.PseudoSB, routing.XY, vcalloc.Static, k)
 		w := traffic.NewFlows(
 			traffic.Flow{Src: 0, Dst: 15, Size: 5, Period: 37, Start: 3},
 			traffic.Flow{Src: 5, Dst: 6, Size: 1, Period: 113, Start: 50},
@@ -138,11 +169,40 @@ func TestActiveSetMatchesNaiveFlows(t *testing.T) {
 		n.Run(w, 2000)
 		return n
 	}
-	naive, fast := run(true), run(false)
-	if !reflect.DeepEqual(naive.Stats, fast.Stats) {
-		t.Errorf("stats diverge on flows:\nnaive: %+v\nfast:  %+v", naive.Stats, fast.Stats)
+	ref := run(kernels[0])
+	for _, k := range kernels[1:] {
+		got := run(k)
+		if !reflect.DeepEqual(ref.Stats, got.Stats) {
+			t.Errorf("stats diverge on flows (%s vs %s):\nref: %+v\ngot: %+v", kernels[0].name, k.name, ref.Stats, got.Stats)
+		}
+		if !reflect.DeepEqual(ref.Energy, got.Energy) {
+			t.Errorf("energy diverges on flows (%s vs %s):\nref: %+v\ngot: %+v", kernels[0].name, k.name, ref.Energy, got.Energy)
+		}
 	}
-	if !reflect.DeepEqual(naive.Energy, fast.Energy) {
-		t.Errorf("energy diverges on flows:\nnaive: %+v\nfast:  %+v", naive.Energy, fast.Energy)
+}
+
+// TestParallelKernelRaceSpotCheck is the -race determinism spot-check the CI
+// race step leans on: one loaded scheme×topology point, workers=4 versus the
+// sequential kernel, driven through Run so the real worker goroutines (not
+// the inline fallback) execute under the race detector. Kept deliberately
+// small so `go test -race ./internal/network/...` stays fast.
+func TestParallelKernelRaceSpotCheck(t *testing.T) {
+	run := func(workers int) *network.Network {
+		topo := topology.NewMesh(4, 4)
+		n := buildKernel(topo, core.PseudoSB, routing.O1TURN, vcalloc.Dynamic, kernel{workers: workers})
+		w := traffic.NewSynthetic(traffic.Config{
+			Pattern: traffic.UniformRandom, Nodes: topo.Nodes(), Rate: 0.14,
+		}, sim.NewRNG(7))
+		n.Run(w, 300)
+		n.ResetStats()
+		n.Run(w, 1200)
+		return n
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("stats diverge between workers=1 and workers=4:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
+	}
+	if !reflect.DeepEqual(seq.Energy, par.Energy) {
+		t.Errorf("energy diverges between workers=1 and workers=4:\nseq: %+v\npar: %+v", seq.Energy, par.Energy)
 	}
 }

@@ -14,6 +14,13 @@
 // the naive all-routers loop — Config.Naive selects that loop for the
 // determinism harness), and a per-network flit/packet free list recycles
 // delivered flits so the steady-state tick path performs no allocations.
+//
+// With Opts.Workers > 1 the kernel additionally shards routers and NIs
+// across that many goroutines inside each cycle: the latched-cross-effects
+// invariant above means concurrent routers cannot observe each other
+// mid-cycle, and all shard-local side effects (link/credit schedules, stats,
+// energy) are merged in fixed shard order, so parallel runs stay
+// bit-identical to sequential ones (DESIGN.md §12).
 package network
 
 import (
@@ -163,6 +170,55 @@ type delivery struct {
 	vc int
 }
 
+// pending is a shard-buffered schedule call: a delivery plus the link
+// latency it was issued with. Shards buffer instead of appending to the
+// delivery ring directly so the merge can reproduce the sequential kernel's
+// exact append order.
+type pending struct {
+	lat int
+	d   delivery
+}
+
+// shard is one worker's slice of the network: a contiguous router range
+// [r0, r1), a contiguous NI range [n0, n1), and private accumulators for
+// every global structure a router tick or NI injection touches. Routers in
+// the shard are constructed against rcfg, whose Stats/Energy point at the
+// shard's meters and whose Send/Credit callbacks buffer into pendTick; the
+// shard's NIs draw flits from its private pool and buffer their schedules
+// into pendInj. After each cycle the main goroutine merges pendInj in shard
+// order (= ascending node order, matching the sequential injection loop),
+// then pendTick in shard order (= ascending router order, matching the
+// sequential tick loop), then drains the shard meters in shard order.
+type shard struct {
+	net    *Network
+	r0, r1 int // routers [r0, r1)
+	n0, n1 int // NI nodes [n0, n1)
+
+	rcfg   *router.Config
+	stats  stats.Network
+	energy energy.Meter
+	pool   *flit.Pool
+
+	pendInj  []pending
+	pendTick []pending
+
+	// work carries one token per cycle: true = run this cycle's phases,
+	// false = exit the worker goroutine (acknowledged on Network.done).
+	work chan bool
+}
+
+// send is the shard-local router Send callback.
+func (sh *shard) send(id, out int, f *flit.Flit) {
+	lat, d := sh.net.resolveFlit(id, out, f)
+	sh.pendTick = append(sh.pendTick, pending{lat: lat, d: d})
+}
+
+// credit is the shard-local router Credit callback.
+func (sh *shard) credit(id, in, vc int) {
+	lat, d := sh.net.resolveCredit(id, in, vc)
+	sh.pendTick = append(sh.pendTick, pending{lat: lat, d: d})
+}
+
 // Network is a runnable simulated network.
 type Network struct {
 	cfg     Config
@@ -194,6 +250,15 @@ type Network struct {
 	// reached a fixed point. naive bypasses the active set entirely.
 	active []bool
 	naive  bool
+
+	// Parallel kernel state (nil/zero when Opts.Workers <= 1): the shards,
+	// the shared completion channel, whether worker goroutines are live
+	// (between startWorkers/stopWorkers, i.e. inside Run/Drain), and the
+	// due-deliveries slice of the cycle in flight, published to workers.
+	shards     []*shard
+	done       chan struct{}
+	parRunning bool
+	curDue     []delivery
 
 	// CheckInvariants enables per-cycle router invariant checking (tests).
 	CheckInvariants bool
@@ -266,6 +331,38 @@ func New(cfg Config) *Network {
 		Reg:      cfg.Registry,
 		Trace:    cfg.Tracer,
 	}
+	// Shard the routers and NIs for the parallel kernel. The naive reference
+	// loop and the tracer stay sequential: naive exists precisely as the
+	// single-threaded reference, and the trace ring is single-writer (worker
+	// count cannot change results either way, so forcing workers=1 under
+	// tracing is an execution detail, not a behaviour change).
+	if w := cfg.Opts.Workers; w > 1 && !cfg.Naive && cfg.Tracer == nil {
+		if w > t.Routers() {
+			w = t.Routers()
+		}
+		if w > 1 {
+			n.shards = make([]*shard, w)
+			n.done = make(chan struct{}, w)
+			for i := range n.shards {
+				sh := &shard{
+					net:  n,
+					r0:   i * t.Routers() / w,
+					r1:   (i + 1) * t.Routers() / w,
+					n0:   i * t.Nodes() / w,
+					n1:   (i + 1) * t.Nodes() / w,
+					pool: flit.NewPool(),
+					work: make(chan bool, 1),
+				}
+				rcfg := *n.rcfg
+				rcfg.Energy = &sh.energy
+				rcfg.Stats = &sh.stats
+				rcfg.Send = sh.send
+				rcfg.Credit = sh.credit
+				sh.rcfg = &rcfg
+				n.shards[i] = sh
+			}
+		}
+	}
 	factory := cfg.Factory
 	if factory == nil {
 		factory = func(id, in, out int, rcfg *router.Config) Node {
@@ -274,7 +371,7 @@ func New(cfg Config) *Network {
 	}
 	n.routers = make([]Node, t.Routers())
 	for r := range n.routers {
-		n.routers[r] = factory(r, t.InPorts(r), t.OutPorts(r), n.rcfg)
+		n.routers[r] = factory(r, t.InPorts(r), t.OutPorts(r), n.routerConfig(r))
 	}
 	n.nis = make([]*ni, t.Nodes())
 	n.ups = make([][]upstream, t.Routers())
@@ -367,34 +464,67 @@ func (n *Network) Inject(p *flit.Packet) {
 	n.Stats.PacketsInjected++
 }
 
-// sendFlit is the router Send callback: resolve the hop, set lookahead
-// routing for the next router, and schedule delivery. A flit switched
-// during cycle t spends h.Latency cycles in link traversal (LT) and is
-// processed by the next hop at t + h.Latency + 1, so LT is a real pipeline
-// stage (paper Fig. 6: ... | ST | LT |).
-func (n *Network) sendFlit(id, out int, f *flit.Flit) {
+// routerConfig returns the router.Config router r must be constructed
+// against: its shard's when the parallel kernel is on, the network-global
+// one otherwise.
+func (n *Network) routerConfig(r int) *router.Config {
+	for _, sh := range n.shards {
+		if r >= sh.r0 && r < sh.r1 {
+			return sh.rcfg
+		}
+	}
+	return n.rcfg
+}
+
+// shardForNode returns the shard owning NI node, nil when sequential.
+func (n *Network) shardForNode(node int) *shard {
+	for _, sh := range n.shards {
+		if node >= sh.n0 && node < sh.n1 {
+			return sh
+		}
+	}
+	return nil
+}
+
+// resolveFlit resolves one hop for a flit leaving output port out of router
+// id: set lookahead routing for the next router and return the delivery and
+// its latency. A flit switched during cycle t spends h.Latency cycles in
+// link traversal (LT) and is processed by the next hop at t + h.Latency + 1,
+// so LT is a real pipeline stage (paper Fig. 6: ... | ST | LT |).
+func (n *Network) resolveFlit(id, out int, f *flit.Flit) (int, delivery) {
 	h := n.topo.NextHop(id, out, f.Packet.Dst)
 	if h.Router < 0 {
 		f.NextOut = -1
-		n.schedule(h.Latency+1, delivery{flit: f, router: -1, port: h.InPort})
-		return
+		return h.Latency + 1, delivery{flit: f, router: -1, port: h.InPort}
 	}
 	f.NextOut = n.engine.Route(h.Router, f.Packet.Dst, f.RouteClass)
-	n.schedule(h.Latency+1, delivery{flit: f, router: h.Router, port: h.InPort})
+	return h.Latency + 1, delivery{flit: f, router: h.Router, port: h.InPort}
 }
 
-// sendCredit is the router Credit callback: return a credit to whatever
-// feeds (id, in), with one cycle latency.
-func (n *Network) sendCredit(id, in, vc int) {
+// resolveCredit resolves a credit return to whatever feeds (id, in), with
+// one cycle latency.
+func (n *Network) resolveCredit(id, in, vc int) (int, delivery) {
 	u := n.ups[id][in]
 	switch u.router {
 	case -2:
 		panic(fmt.Sprintf("network: credit from unwired input port %d of router %d", in, id))
 	case -1:
-		n.schedule(1, delivery{router: -1, port: u.out, vc: vc})
+		return 1, delivery{router: -1, port: u.out, vc: vc}
 	default:
-		n.schedule(1, delivery{router: u.router, port: u.out, vc: vc})
+		return 1, delivery{router: u.router, port: u.out, vc: vc}
 	}
+}
+
+// sendFlit is the sequential-kernel router Send callback.
+func (n *Network) sendFlit(id, out int, f *flit.Flit) {
+	lat, d := n.resolveFlit(id, out, f)
+	n.schedule(lat, d)
+}
+
+// sendCredit is the sequential-kernel router Credit callback.
+func (n *Network) sendCredit(id, in, vc int) {
+	lat, d := n.resolveCredit(id, in, vc)
+	n.schedule(lat, d)
 }
 
 func (n *Network) schedule(latency int, d delivery) {
@@ -407,6 +537,10 @@ func (n *Network) schedule(latency int, d delivery) {
 
 // Step advances the simulation one cycle.
 func (n *Network) Step(w Workload) {
+	if n.shards != nil {
+		n.stepSharded(w)
+		return
+	}
 	// 1. Deliver flits and credits due now; every delivery (re)activates
 	// its target router. A schedule always targets a future ring slot
 	// (latency >= 1, < len(ring)), so the slot's backing array can be
@@ -470,8 +604,162 @@ func (n *Network) Step(w Workload) {
 	}
 }
 
+// stepSharded advances the simulation one cycle under the parallel kernel.
+// It reproduces the sequential Step exactly:
+//
+//  1. NI-bound deliveries (ejection + NI credits) and the workload tick run
+//     on the main goroutine, in due/node order, exactly as sequentially —
+//     they touch the global stats, the packet pool and source queues.
+//  2. Each shard then latches its routers' due deliveries (due order is
+//     preserved per router, and a delivery only touches its target router),
+//     injects from its NIs (ascending node order within the shard), and
+//     ticks its active routers (ascending router order within the shard).
+//     Shards are mutually independent: a router tick reads and writes only
+//     that router's state plus shard-local buffers/meters, because every
+//     cross-router effect is latched through the delivery ring.
+//  3. The main goroutine merges the shard-buffered schedules — injections
+//     in shard order (= ascending node order, the sequential phase-2 append
+//     order) then router emissions in shard order (= ascending router
+//     order, the sequential phase-3 append order) — and drains the shard
+//     stats/energy meters in shard order. All merged quantities are sums,
+//     and ring-append order is reproduced exactly, so the cycle is
+//     bit-identical to the sequential kernel's.
+//
+// With worker goroutines live (inside Run/Drain) phase 2 runs concurrently;
+// otherwise it runs inline in shard order, which is the same schedule
+// serialized.
+func (n *Network) stepSharded(w Workload) {
+	slot := int(n.now) % len(n.ring)
+	due := n.ring[slot]
+	for _, d := range due {
+		if d.router >= 0 {
+			continue // router-bound: latched by the owning shard below
+		}
+		if d.flit != nil {
+			n.nis[d.port].receive(n.now, d.flit, w)
+		} else {
+			n.nis[d.port].credit(d.vc)
+		}
+	}
+	if w != nil {
+		w.Tick(n.now, n)
+	}
+	n.curDue = due
+	if n.parRunning {
+		for _, sh := range n.shards {
+			sh.work <- true
+		}
+		for range n.shards {
+			<-n.done
+		}
+	} else {
+		for _, sh := range n.shards {
+			n.shardPhase(sh)
+		}
+	}
+	n.ring[slot] = due[:0]
+	for _, sh := range n.shards {
+		for _, p := range sh.pendInj {
+			n.schedule(p.lat, p.d)
+		}
+		sh.pendInj = sh.pendInj[:0]
+	}
+	for _, sh := range n.shards {
+		for _, p := range sh.pendTick {
+			n.schedule(p.lat, p.d)
+		}
+		sh.pendTick = sh.pendTick[:0]
+	}
+	for _, sh := range n.shards {
+		n.Stats.MergeCounters(&sh.stats)
+		n.Energy.MergeCounts(&sh.energy)
+	}
+	n.now++
+	n.Stats.MeasuredTo = n.now
+	if n.series != nil {
+		n.series.Tick(n.now, n.Stats)
+	}
+}
+
+// shardPhase runs one shard's slice of a cycle: latch due deliveries into
+// the shard's routers, inject from the shard's NIs, tick the shard's active
+// routers. Called from worker goroutines when they are live, inline on the
+// main goroutine otherwise — the two are bit-identical because shards touch
+// disjoint state and all shared effects are buffered shard-locally.
+func (n *Network) shardPhase(sh *shard) {
+	for _, d := range n.curDue {
+		if d.router < sh.r0 || d.router >= sh.r1 {
+			continue
+		}
+		if d.flit != nil {
+			n.routers[d.router].Deliver(d.port, d.flit)
+		} else {
+			n.routers[d.router].DeliverCredit(d.port, d.vc)
+		}
+		n.active[d.router] = true
+	}
+	for node := sh.n0; node < sh.n1; node++ {
+		s := n.nis[node]
+		if s.cur == nil && len(s.queue) == 0 {
+			continue
+		}
+		s.inject(n.now)
+	}
+	for id := sh.r0; id < sh.r1; id++ {
+		if !n.active[id] {
+			continue
+		}
+		if !n.routers[id].Tick(n.now) {
+			n.active[id] = false
+		}
+		if n.CheckInvariants {
+			n.routers[id].CheckInvariants()
+		}
+	}
+}
+
+// startWorkers brings up one goroutine per shard and returns the matching
+// stop function (a no-op pair when the kernel is sequential or workers are
+// already live, so nesting Run/Drain is safe). Workers are scoped to
+// Run/Drain rather than to the Network so there is no Close obligation and
+// an idle Network holds no goroutines; Step outside Run executes the same
+// sharded phases inline.
+func (n *Network) startWorkers() func() {
+	if n.shards == nil || n.parRunning {
+		return func() {}
+	}
+	n.parRunning = true
+	for _, sh := range n.shards {
+		go n.workerLoop(sh)
+	}
+	return n.stopWorkers
+}
+
+// stopWorkers shuts the worker goroutines down and waits for them to exit,
+// so all their writes are visible to the caller.
+func (n *Network) stopWorkers() {
+	for _, sh := range n.shards {
+		sh.work <- false
+	}
+	for range n.shards {
+		<-n.done
+	}
+	n.parRunning = false
+}
+
+// workerLoop serves one shard: one phase per work token, exit on false.
+func (n *Network) workerLoop(sh *shard) {
+	for <-sh.work {
+		n.shardPhase(sh)
+		n.done <- struct{}{}
+	}
+	n.done <- struct{}{}
+}
+
 // Run advances the simulation for cycles cycles.
 func (n *Network) Run(w Workload, cycles int) {
+	stop := n.startWorkers()
+	defer stop()
 	for i := 0; i < cycles; i++ {
 		n.Step(w)
 	}
@@ -495,6 +783,8 @@ func (n *Network) ResetStats() {
 // Drain runs until the workload is done and no packets remain in flight, up
 // to maxCycles. It returns true if the network drained.
 func (n *Network) Drain(w Workload, maxCycles int) bool {
+	stop := n.startWorkers()
+	defer stop()
 	for i := 0; i < maxCycles; i++ {
 		if (w == nil || w.Done()) && n.inFlight == 0 {
 			return true

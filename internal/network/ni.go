@@ -32,6 +32,15 @@ type ni struct {
 	lastDst int // previous packet's destination (Fig. 1 end-to-end locality)
 
 	rx map[uint64]int // packet ID -> flits received so far
+
+	// sh is the owning shard of the parallel kernel (nil when sequential);
+	// injections buffer into it instead of the delivery ring. fpool supplies
+	// injection flits: the shard's private pool under the parallel kernel
+	// (ejected flits are recycled back to their source node's fpool, so the
+	// per-shard free lists stay balanced under any traffic pattern), the
+	// network pool otherwise.
+	sh    *shard
+	fpool *flit.Pool
 }
 
 func newNI(n *Network, node, r, inPort int) *ni {
@@ -46,6 +55,11 @@ func newNI(n *Network, node, r, inPort int) *ni {
 		rng:     n.rng.Split(),
 		lastDst: -1,
 		rx:      make(map[uint64]int),
+		fpool:   n.pool,
+	}
+	if sh := n.shardForNode(node); sh != nil {
+		s.sh = sh
+		s.fpool = sh.pool
 	}
 	for v := range s.credits {
 		s.credits[v] = n.cfg.BufDepth
@@ -76,7 +90,7 @@ func (s *ni) inject(now sim.Cycle) {
 		}
 		p := s.queue[0]
 		s.queue = s.queue[:copy(s.queue, s.queue[1:])]
-		s.cur = s.net.pool.SplitInto(s.curBuf[:0], p)
+		s.cur = s.fpool.SplitInto(s.curBuf[:0], p)
 		s.curBuf = s.cur
 		s.idx = 0
 		s.class = s.net.engine.ClassFor(s.rng)
@@ -107,7 +121,11 @@ func (s *ni) inject(now sim.Cycle) {
 		p.NetStart = now
 	}
 	s.credits[s.outVC]--
-	s.net.schedule(1, delivery{flit: f, router: s.router, port: s.inPort})
+	if s.sh != nil {
+		s.sh.pendInj = append(s.sh.pendInj, pending{lat: 1, d: delivery{flit: f, router: s.router, port: s.inPort}})
+	} else {
+		s.net.schedule(1, delivery{flit: f, router: s.router, port: s.inPort})
+	}
 	if tr := s.net.tracer; tr != nil {
 		tr.Record(obs.Event{
 			Cycle: int64(now), Kind: obs.Inject, Packet: p.ID, Seq: int32(f.Seq),
@@ -148,7 +166,11 @@ func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
 			Loc: int32(s.node), In: -1, VC: int32(f.VC), Out: -1,
 		})
 	}
-	s.net.pool.RecycleFlit(f)
+	// Recycle to the source node's injection pool: under the parallel
+	// kernel that keeps each shard's free list fed by exactly the flits its
+	// own NIs injected (self-balancing, so the zero-alloc steady state
+	// survives any traffic pattern); sequentially it is the network pool.
+	s.net.nis[p.Src].fpool.RecycleFlit(f)
 	s.rx[p.ID]++
 	if s.rx[p.ID] < p.Size {
 		return

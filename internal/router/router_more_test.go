@@ -104,13 +104,6 @@ func TestVARetry(t *testing.T) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // TestHeadTailPacketsReusePC: single-flit packets (the CMP's address-only
 // requests) create and reuse pseudo-circuits like any other.
 func TestHeadTailPacketsReusePC(t *testing.T) {

@@ -35,6 +35,11 @@ const (
 	MaxDim = 64
 	// MaxCycles bounds warmup+measure of one job.
 	MaxCycles = 10_000_000
+	// MaxWorkers bounds the requested cycle-kernel worker count. Worker
+	// count never changes results (only wall-clock), so it is stripped from
+	// the canonical cache key; the bound just stops a remote caller from
+	// demanding an absurd goroutine fan-out.
+	MaxWorkers = 32
 )
 
 // DecodeRequest parses a job request strictly: unknown fields, trailing
@@ -143,6 +148,9 @@ func checkExperiment(exp noc.Experiment, s noc.Spec) error {
 	}
 	if s.Warmup < 0 || s.Measure < 0 {
 		return fmt.Errorf("negative cycle counts (warmup %d, measure %d)", s.Warmup, s.Measure)
+	}
+	if s.Workers < 0 || s.Workers > MaxWorkers {
+		return fmt.Errorf("workers %d outside [0, %d]", s.Workers, MaxWorkers)
 	}
 	warmup, measure := exp.Protocol()
 	if warmup+measure > MaxCycles {

@@ -64,6 +64,46 @@ func (n *Network) Reset(now sim.Cycle) {
 	*n = Network{MeasuredFrom: now, MeasuredTo: now}
 }
 
+// MergeCounters folds src's additive counters (including any histogram
+// samples) into n and zeroes them in src, leaving both structs' measurement
+// windows (MeasuredFrom/MeasuredTo) untouched. It is the shard-drain
+// primitive of the parallel cycle kernel: per-shard accumulators are merged
+// into the global struct in fixed shard order once per cycle. Every merged
+// field is a sum (and histogram buckets are sums), so the per-shard grouping
+// cannot change the totals — parallel runs report bit-identical statistics
+// to sequential ones.
+func (n *Network) MergeCounters(src *Network) {
+	n.PacketsInjected += src.PacketsInjected
+	n.PacketsDelivered += src.PacketsDelivered
+	n.FlitsDelivered += src.FlitsDelivered
+	n.LatencySamples += src.LatencySamples
+	n.LatencySum += src.LatencySum
+	n.NetLatencySum += src.NetLatencySum
+	n.HopSum += src.HopSum
+	if src.LatencyHist.Count() != 0 {
+		n.LatencyHist.Merge(&src.LatencyHist)
+		src.LatencyHist.Reset()
+	}
+	n.Traversals += src.Traversals
+	n.PCReused += src.PCReused
+	n.Bypassed += src.Bypassed
+	n.HeadTravs += src.HeadTravs
+	n.HeadReused += src.HeadReused
+	n.HeadBypassed += src.HeadBypassed
+	n.SpecReused += src.SpecReused
+	n.PCCreated += src.PCCreated
+	n.PCTerminated += src.PCTerminated
+	n.PCSpeculated += src.PCSpeculated
+	n.SAGrants += src.SAGrants
+	n.XbarSame += src.XbarSame
+	n.XbarPrev += src.XbarPrev
+	n.E2ESame += src.E2ESame
+	n.E2EPrev += src.E2EPrev
+	hist := src.LatencyHist
+	*src = Network{MeasuredFrom: src.MeasuredFrom, MeasuredTo: src.MeasuredTo}
+	src.LatencyHist = hist
+}
+
 // Window returns the measured window length in cycles, never negative.
 func (n *Network) Window() sim.Cycle {
 	if n.MeasuredTo <= n.MeasuredFrom {

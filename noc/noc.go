@@ -194,6 +194,12 @@ type Experiment struct {
 	// bit-identical either way; the flag exists for the determinism harness
 	// and kernel benchmarks.
 	NaiveKernel bool
+	// Workers selects the cycle kernel's worker count: values above 1 tick
+	// routers on that many goroutines inside each simulated cycle. It is an
+	// execution knob, not a model parameter — results are bit-identical for
+	// every worker count, so it never participates in canonical specs or
+	// result caching. 0 or 1 runs sequentially.
+	Workers int
 	// Observe opts into the observability layer (per-router counters,
 	// windowed time series, lifecycle tracing). Zero value: all off.
 	Observe Observe
@@ -269,6 +275,9 @@ func (e Experiment) Build() *Network {
 	}
 	if e.Opts != nil {
 		cfg.Opts = *e.Opts
+	}
+	if e.Workers != 0 {
+		cfg.Opts.Workers = e.Workers
 	}
 	if e.Observe.enabled() {
 		if e.Observe.PerRouter {

@@ -32,6 +32,10 @@ type Spec struct {
 	UseEVC    bool   `json:"useEVC,omitempty"`
 	Warmup    int    `json:"warmup,omitempty"`
 	Measure   int    `json:"measure,omitempty"`
+	// Workers selects the cycle kernel's worker count. It is an execution
+	// knob with no effect on results, so SpecOf never emits it and the
+	// service strips it from canonical cache keys.
+	Workers int `json:"workers,omitempty"`
 }
 
 // WorkloadSpec is the serializable form of a workload, the counterpart of
@@ -215,6 +219,7 @@ func (s Spec) Experiment() (Experiment, error) {
 	e.UseEVC = s.UseEVC
 	e.Warmup = s.Warmup
 	e.Measure = s.Measure
+	e.Workers = s.Workers
 	return e, nil
 }
 
@@ -244,6 +249,9 @@ func SpecOf(e Experiment) Spec {
 	if e.StaticKey == vcalloc.KeyFlow {
 		s.StaticKey = "flow"
 	}
+	// Workers is deliberately not rendered: worker count never changes
+	// results, so canonical specs (and the cache keys derived from them)
+	// must not vary with it.
 	return s
 }
 
