@@ -155,6 +155,51 @@ func isStatus(err error, status int) bool {
 	return ok && apiErr.Status == status
 }
 
+// TestDaemonFaultSchedules drives fault schedules through the HTTP path: a
+// valid schedule runs to completion with fault accounting in the result and
+// a distinct cache identity from the fault-free spec; hostile schedules come
+// back as 400, not worker panics.
+func TestDaemonFaultSchedules(t *testing.T) {
+	_, _, c := testServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	clean, err := c.SubmitWait(ctx, smallReq(9))
+	if err != nil || clean.State != "done" {
+		t.Fatalf("fault-free run: state=%s err=%v", clean.State, err)
+	}
+
+	faulted := smallReq(9)
+	faulted.Spec.Faults = &noc.FaultSpec{
+		Drop: "reroute",
+		Events: []noc.FaultEventSpec{
+			{Cycle: 200, Kind: "router-down", Router: 5},
+			{Cycle: 400, Kind: "router-up", Router: 5},
+		},
+	}
+	j, err := c.SubmitWait(ctx, faulted)
+	if err != nil || j.State != "done" || j.Result == nil {
+		t.Fatalf("faulted run: state=%s err=%v", j.State, err)
+	}
+	if j.CacheHit {
+		t.Fatal("faulted spec served the fault-free cached result")
+	}
+	if j.Result.FaultEvents != 2 {
+		t.Fatalf("fault events %d, want 2", j.Result.FaultEvents)
+	}
+	if j.Result.PacketsDropped == 0 {
+		t.Fatal("router fault dropped no packets")
+	}
+
+	hostile := smallReq(10)
+	hostile.Spec.Faults = &noc.FaultSpec{
+		Events: []noc.FaultEventSpec{{Cycle: 999999, Kind: "link-down", Router: 99}},
+	}
+	if _, err := c.Submit(ctx, hostile); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("hostile schedule: err %v, want 400", err)
+	}
+}
+
 // TestDaemonWatchStream reads the NDJSON progress stream: every line must
 // decode as a job snapshot and the last one must be terminal.
 func TestDaemonWatchStream(t *testing.T) {

@@ -44,6 +44,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		workers   = flag.Int("workers", 0, "cycle-kernel worker goroutines per cycle (0/1 sequential); any value gives bit-identical results")
 		useEVC    = flag.Bool("evc", false, "use the Express-Virtual-Channel comparison router (scheme must be baseline)")
+		faults    = flag.String("faults", "", `fault schedule as inline JSON or @file, e.g. '{"events":[{"cycle":2000,"kind":"link-down","router":5},{"cycle":4000,"kind":"link-up","router":5}]}' (overrides the config file's schedule)`)
 		config    = flag.String("config", "", "JSON experiment spec file (overrides the individual flags)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		links     = flag.Int("links", 0, "also print the N most-loaded channels")
@@ -100,6 +101,25 @@ func main() {
 
 	if *workers > 0 {
 		exp.Workers = *workers
+	}
+
+	if *faults != "" {
+		data := []byte(*faults)
+		if strings.HasPrefix(*faults, "@") {
+			var err error
+			if data, err = os.ReadFile((*faults)[1:]); err != nil {
+				fatal("reading fault schedule: %v", err)
+			}
+		}
+		var fs noc.FaultSpec
+		if err := json.Unmarshal(data, &fs); err != nil {
+			fatal("parsing fault schedule: %v", err)
+		}
+		sched, err := fs.Schedule(exp)
+		if err != nil {
+			fatal("%v", err)
+		}
+		exp.Faults = sched
 	}
 
 	if *metricsOut != "" || *pprofAddr != "" {
@@ -167,6 +187,10 @@ func main() {
 	fmt.Printf("router energy       %.1f nJ (buffer %.1f%%, crossbar %.1f%%, arbiter %.1f%%)\n",
 		res.EnergyPJ/1000,
 		100*res.BufferPJ/res.EnergyPJ, 100*res.CrossbarPJ/res.EnergyPJ, 100*res.ArbiterPJ/res.EnergyPJ)
+	if exp.Faults != nil {
+		fmt.Printf("faults              %d events, %d packets dropped (%d flits), %d rerouted, %d circuits torn\n",
+			res.FaultEvents, res.PacketsDropped, res.FlitsDropped, res.PacketsRerouted, res.PCFaultTerminated)
+	}
 	if *links > 0 {
 		fmt.Printf("\nmost-loaded channels:\n")
 		for i, l := range n.LinkLoads() {

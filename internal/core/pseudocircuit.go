@@ -170,6 +170,15 @@ func (r *Register) Terminate() {
 	r.Valid = false
 }
 
+// Clear tears the circuit down completely: the valid bit and both registers
+// are reset, so neither Revive nor depth-1 speculation can reconnect it. This
+// is the fault-teardown path — a link or router failure invalidates the
+// learned connection itself, not just its validity, because the crossbar
+// state it describes may be wrong when the link returns.
+func (r *Register) Clear() {
+	*r = NewRegister()
+}
+
 // SetSpeculative connects the register to (vc, out) speculatively — the
 // depth-N speculation path, which may restore a connection older than the
 // register's own last value. It panics if the register is already valid.
@@ -253,6 +262,18 @@ func (h *InputHistory) Record(vc, out int) {
 	}
 	copy(h.entries[1:], h.entries)
 	h.entries[0] = e
+}
+
+// Drop removes any history entry targeting output port out (fault teardown:
+// a failed link's connections must not be revivable from history).
+func (h *InputHistory) Drop(out int) {
+	for i := 0; i < len(h.entries); {
+		if h.entries[i].Out == out {
+			h.entries = append(h.entries[:i], h.entries[i+1:]...)
+			continue
+		}
+		i++
+	}
 }
 
 // Lookup returns the input VC of the most recent connection to out, if any.

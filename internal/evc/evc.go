@@ -56,14 +56,17 @@ type vcState struct {
 	active  bool
 	outPort int
 	outVC   int
+	class   int
 	src     int
 	dst     int
+	pkt     *flit.Packet // the packet owning the VC (fault teardown needs it even when buf is empty)
 }
 
 func (v *vcState) reset() {
 	v.active = false
 	v.outPort = -1
 	v.outVC = -1
+	v.pkt = nil
 }
 
 type inputPort struct {
@@ -186,6 +189,43 @@ func (r *Router) parityFor(out int) int {
 	return y & 1
 }
 
+// linkDead reports whether output port out is currently unusable under the
+// configured fault schedule; always false without one.
+func (r *Router) linkDead(out int) bool {
+	return r.cfg.LinkUp != nil && !r.cfg.LinkUp(r.ID, out)
+}
+
+// expressBlocked reports whether the two-hop express path via out is
+// unusable: either the link to the intermediate router or the intermediate
+// router's onward link (same direction) is dead.
+func (r *Router) expressBlocked(out int) bool {
+	if r.cfg.LinkUp == nil {
+		return false
+	}
+	if !r.cfg.LinkUp(r.ID, out) {
+		return true
+	}
+	mid := r.mesh.NextHop(r.ID, out, 0).Router
+	return !r.cfg.LinkUp(mid, out)
+}
+
+// expressRouteStable reports whether fault-aware lookahead routing keeps the
+// express path straight. Without a fault schedule routes are pure DOR and an
+// express-capable port is always the nominal route at both hops; under a
+// schedule the committed port may be a detour, and the mid router's lookahead
+// (recomputed by the network at send time) could turn — an express flit must
+// travel straight through the relay latch, so such paths are ineligible.
+func (r *Router) expressRouteStable(out, dst, class int) bool {
+	if r.cfg.Reroute == nil {
+		return true
+	}
+	if r.cfg.Reroute(r.ID, dst, class) != out {
+		return false
+	}
+	mid := r.mesh.NextHop(r.ID, out, 0).Router
+	return r.cfg.Reroute(mid, dst, class) == out
+}
+
 // expressCapable reports whether a packet leaving via out toward dst has at
 // least two remaining hops in that dimension (l_max = 2 express paths).
 func (r *Router) expressCapable(out, dst int) bool {
@@ -288,7 +328,7 @@ func (r *Router) executeReservations(now sim.Cycle) {
 			continue
 		}
 		vs := r.in[res.in].vcs[res.vc]
-		if vs.outVC < 0 || !r.hasCredit(res.out, vs.outVC) {
+		if vs.outVC < 0 || r.linkDead(res.out) || !r.hasCredit(res.out, vs.outVC) {
 			continue
 		}
 		if len(vs.buf) == 0 || vs.buf[0] != res.f {
@@ -320,8 +360,15 @@ func (r *Router) admitHeads() {
 			vs.active = true
 			vs.outPort = h.NextOut
 			vs.outVC = -1
+			vs.class = h.RouteClass
 			vs.src = h.Packet.Src
 			vs.dst = h.Packet.Dst
+			vs.pkt = h.Packet
+			// Stale lookahead: re-route around a link that died while the
+			// flit was in flight.
+			if r.cfg.Reroute != nil && vs.outPort < 4 && r.linkDead(vs.outPort) {
+				vs.outPort = r.cfg.Reroute(r.ID, vs.dst, vs.class)
+			}
 		}
 	}
 }
@@ -348,7 +395,11 @@ func (r *Router) tryVA(vs *vcState) {
 		vs.outVC = 0
 		return
 	}
-	if r.expressCapable(vs.outPort, vs.dst) {
+	if r.linkDead(vs.outPort) {
+		return // dead link: hold the packet until recovery or reroute
+	}
+	if r.expressCapable(vs.outPort, vs.dst) && !r.expressBlocked(vs.outPort) &&
+		r.expressRouteStable(vs.outPort, vs.dst, vs.class) {
 		v := r.base + r.parityFor(vs.outPort)
 		if !o.vcBusy[v] && o.credits[v] > 0 {
 			o.vcBusy[v] = true
@@ -377,6 +428,9 @@ func (r *Router) classify(now sim.Cycle) {
 		for v, vs := range in.vcs {
 			if !vs.active || len(vs.buf) == 0 || vs.at[0] >= now {
 				continue
+			}
+			if r.linkDead(vs.outPort) {
+				continue // dead link: stall until recovery or the storm's reroute
 			}
 			if vs.outVC < 0 {
 				r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
@@ -521,6 +575,88 @@ func (r *Router) CheckInvariants() {
 		for v, c := range op.credits {
 			if c < 0 || c > r.cfg.BufDepth {
 				panic(fmt.Sprintf("evc router %d: credit %d out of range on out %d vc %d", r.ID, c, o, v))
+			}
+		}
+	}
+}
+
+// FaultScan implements the fault-storm sweep for the EVC router (see
+// router.Router.FaultScan). In addition to the base rules, a packet
+// committed to an express VC is torn down when either link of its two-hop
+// express path dies: its credits track the sink buffer two hops away, so it
+// cannot simply wait out the fault at the intermediate router.
+func (r *Router) FaultScan(fc *router.FaultContext) {
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			for _, f := range vs.buf {
+				if fc.RouterDead || fc.DstDead(f.Packet.Dst) {
+					fc.Kill(f.Packet)
+				}
+			}
+			if !vs.active {
+				continue
+			}
+			express := vs.outVC >= r.base && vs.outPort < 4
+			switch {
+			case fc.RouterDead || fc.DstDead(vs.dst):
+				fc.Kill(vs.pkt)
+			case vs.outPort < len(r.out) && !r.out[vs.outPort].ejection &&
+				(fc.LinkDead(vs.outPort) || (express && r.expressBlocked(vs.outPort))):
+				if vs.outVC < 0 {
+					vs.outPort = fc.Reroute(vs.dst, vs.class)
+				} else if fc.Salvage && len(vs.buf) > 0 && vs.buf[0].Kind.IsHead() {
+					r.out[vs.outPort].vcBusy[vs.outVC] = false
+					vs.outVC = -1
+					vs.outPort = fc.Reroute(vs.dst, vs.class)
+					fc.Salvaged(vs.pkt)
+				} else {
+					fc.Kill(vs.pkt)
+				}
+			}
+		}
+	}
+}
+
+// FaultStale implements the bounded-wait stale sweep for the EVC router
+// (see router.Router.FaultStale): every resident packet whose header entered
+// the network before cutoff is reported for purging.
+func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			for _, f := range vs.buf {
+				if f.Packet.NetStart < cutoff {
+					kill(f.Packet)
+				}
+			}
+			if vs.active && vs.pkt.NetStart < cutoff {
+				kill(vs.pkt)
+			}
+		}
+	}
+}
+
+// FaultPurge implements the per-packet purge for the EVC router (see
+// router.Router.FaultPurge). Credits for purged flits flow through the
+// normal pop path, so express credits are relayed upstream to their source.
+func (r *Router) FaultPurge(p *flit.Packet, drop func(f *flit.Flit)) {
+	for i, in := range r.in {
+		for v, vs := range in.vcs {
+			for k := 0; k < len(vs.buf); {
+				if vs.buf[k].Packet != p {
+					k++
+					continue
+				}
+				f := vs.buf[k]
+				vs.buf = append(vs.buf[:k], vs.buf[k+1:]...)
+				vs.at = append(vs.at[:k], vs.at[k+1:]...)
+				r.cfg.Credit(r.ID, i, v)
+				drop(f)
+			}
+			if vs.active && vs.pkt == p {
+				if vs.outVC >= 0 && !r.out[vs.outPort].ejection {
+					r.out[vs.outPort].vcBusy[vs.outVC] = false
+				}
+				vs.reset()
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"pseudocircuit/internal/experiments"
+)
+
+// TestFaultWindowShape: the fault window is visible in the measurements —
+// fault transitions land in the expected segments and every config pays a
+// latency penalty while the fault is active. The router fault is the violent
+// case: in-flight packets are dropped or rerouted, the pseudo-circuit scheme
+// tears down circuits crossing the dead router, and the post window recovers.
+// (A single link fault at the low-load operating point is deliberately mild —
+// fault-aware routing detours around it — so the strong assertions apply to
+// the router fault only.)
+func TestFaultWindowShape(t *testing.T) {
+	r := experiments.FaultWindow(experiments.Options{Warmup: 400, Measure: 4000})
+	if len(r.Configs) == 0 || len(r.Segments) != 3 {
+		t.Fatalf("unexpected shape: %d configs, %d segments", len(r.Configs), len(r.Segments))
+	}
+	rtr := -1
+	for i, cfg := range r.Configs {
+		if cfg == "Pseudo+S+B (router)" {
+			rtr = i
+		}
+		// The down event fires at the first cycle of the fault window, the up
+		// event at the first cycle of the post window.
+		if r.Events[i][0] != 0 || r.Events[i][1] != 1 || r.Events[i][2] != 1 {
+			t.Errorf("%s: fault events per window %v, want [0 1 1]", cfg, r.Events[i])
+		}
+		if during, pre := r.Latency[i][1], r.Latency[i][0]; during <= pre {
+			t.Errorf("%s: faulted-window latency %.2f not above healthy %.2f", cfg, during, pre)
+		}
+		// No fault damage outside the fault storms.
+		if r.Dropped[i][0] != 0 || r.Rerouted[i][0] != 0 {
+			t.Errorf("%s: healthy pre window shows fault damage (dropped %d, rerouted %d)",
+				cfg, r.Dropped[i][0], r.Rerouted[i][0])
+		}
+	}
+	if rtr < 0 {
+		t.Fatal("router-fault config missing")
+	}
+	if r.Dropped[rtr][1] == 0 {
+		t.Error("router fault dropped no packets")
+	}
+	if r.PCTorn[rtr][1] == 0 {
+		t.Error("router fault tore down no pseudo-circuits")
+	}
+	if post, during := r.Latency[rtr][2], r.Latency[rtr][1]; post >= during {
+		t.Errorf("router fault: post-window latency %.2f did not recover below faulted %.2f", post, during)
+	}
+}
+
+// TestFaultHeatmapShape: the spatial deltas point at the faulted element —
+// reuse collapses at the dead router while far-corner routers are barely
+// touched.
+func TestFaultHeatmapShape(t *testing.T) {
+	r := experiments.FaultHeatmap(experiments.Options{Warmup: 400, Measure: 4000})
+	if len(r.ReuseDelta) != r.KX*r.KY {
+		t.Fatalf("grid size %d, want %d", len(r.ReuseDelta), r.KX*r.KY)
+	}
+	if r.ReuseDelta[r.Router] >= 0 {
+		t.Errorf("dead router %d reuse delta %.3f not negative", r.Router, r.ReuseDelta[r.Router])
+	}
+	// The far corner (router 63) should suffer less reuse loss than the dead
+	// router itself.
+	far := r.KX*r.KY - 1
+	if r.ReuseDelta[far] < r.ReuseDelta[r.Router] {
+		t.Errorf("far corner delta %.3f below dead router's %.3f", r.ReuseDelta[far], r.ReuseDelta[r.Router])
+	}
+}

@@ -1,0 +1,379 @@
+// Package fault defines deterministic fault schedules for the cycle kernel:
+// cycle-stamped link-down/link-up and router-down/router-up events declared
+// up front on the experiment spec, applied inside the kernel's main phase so
+// faulted runs stay bit-identical across the naive, active-set and sharded
+// parallel kernels at every worker count.
+//
+// A schedule is data, not behavior: validation happens once at the spec
+// boundary (and again defensively at network build time), and the runtime
+// State replays the canonically sorted event list with an alloc-free cursor
+// so the steady-state hot path stays zero-alloc.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates fault event kinds.
+type Kind int
+
+const (
+	// LinkDown disables a router's outgoing direction link (and the
+	// corresponding reverse path is unaffected: links are unidirectional).
+	LinkDown Kind = iota
+	// LinkUp re-enables a previously downed link.
+	LinkUp
+	// RouterDown disables a whole router: all its links, its terminals'
+	// injection, and delivery of packets homed at it.
+	RouterDown
+	// RouterUp re-enables a previously downed router.
+	RouterUp
+	numKinds
+)
+
+var kindNames = [numKinds]string{"link-down", "link-up", "router-down", "router-up"}
+
+// String returns the canonical spec name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindByName resolves a canonical kind name; ok is false for unknown names.
+func KindByName(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// IsDown reports whether the kind takes a target down.
+func (k Kind) IsDown() bool { return k == LinkDown || k == RouterDown }
+
+// IsLink reports whether the kind targets a link rather than a router.
+func (k Kind) IsLink() bool { return k == LinkDown || k == LinkUp }
+
+// Event is one scheduled fault transition. Link events identify the link by
+// its source router and direction output port (0..3: E, W, N, S); router
+// events leave Port zero.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Router int
+	Port   int
+}
+
+// Policy selects what happens to in-flight flits whose committed path
+// crosses a failing link.
+type Policy int
+
+const (
+	// Drop kills the whole packet (all flits purged, credits replenished,
+	// the drop accounted in stats). The default.
+	Drop Policy = iota
+	// Reroute salvages packets whose head flit is still buffered at the
+	// failure point by re-running route computation around the dead link;
+	// packets already partially forwarded are dropped as under Drop.
+	Reroute
+)
+
+// String returns the canonical spec name of the policy.
+func (p Policy) String() string {
+	if p == Reroute {
+		return "reroute"
+	}
+	return "drop"
+}
+
+// PolicyByName resolves a policy name; empty selects Drop.
+func PolicyByName(s string) (Policy, bool) {
+	switch s {
+	case "", "drop":
+		return Drop, true
+	case "reroute":
+		return Reroute, true
+	}
+	return Drop, false
+}
+
+// Schedule is a validated, canonically ordered fault schedule.
+type Schedule struct {
+	Policy Policy
+	Events []Event
+}
+
+// MaxEvents bounds schedule size at the service boundary.
+const MaxEvents = 4096
+
+// target identifies a fault target for alternation checking: router faults
+// use port -1 so they never collide with link faults.
+type target struct {
+	router, port int
+}
+
+func (e Event) target() target {
+	if e.Kind.IsLink() {
+		return target{e.Router, e.Port}
+	}
+	return target{e.Router, -1}
+}
+
+// Canon sorts events into canonical order: by cycle, then router, then port,
+// then kind. Two schedules that differ only in event order canonicalize (and
+// therefore hash) identically.
+func (s *Schedule) Canon() {
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Topo is the slice of topology the validator needs. *topology.Mesh
+// satisfies it; topologies without a wired-port notion are rejected before
+// validation reaches here.
+type Topo interface {
+	Routers() int
+	// Dims returns the router grid dimensions (mesh-like topologies).
+	Dims() (kx, ky int)
+	// Coord returns router r's grid coordinates.
+	Coord(r int) (x, y int)
+}
+
+// wired reports whether direction port out of router r connects to a
+// neighbor on the grid (edge ports exist but are unwired).
+func wired(t Topo, r, out int) bool {
+	kx, ky := t.Dims()
+	x, y := t.Coord(r)
+	switch out {
+	case 0: // E
+		return x+1 < kx
+	case 1: // W
+		return x > 0
+	case 2: // N
+		return y > 0
+	case 3: // S
+		return y+1 < ky
+	}
+	return false
+}
+
+// NeighborTable builds the (router*4 + port) → far-end-router table a State
+// needs: the router at the other end of each direction link, or -1 for
+// unwired grid-edge ports.
+func NeighborTable(t Topo) []int {
+	kx, ky := t.Dims()
+	nbr := make([]int, t.Routers()*4)
+	for r := 0; r < t.Routers(); r++ {
+		x, y := t.Coord(r)
+		for out := 0; out < 4; out++ {
+			nx, ny := x, y
+			switch out {
+			case 0: // E
+				nx++
+			case 1: // W
+				nx--
+			case 2: // N
+				ny--
+			case 3: // S
+				ny++
+			}
+			if nx < 0 || nx >= kx || ny < 0 || ny >= ky {
+				nbr[r*4+out] = -1
+			} else {
+				nbr[r*4+out] = ny*kx + nx
+			}
+		}
+	}
+	return nbr
+}
+
+// Validate canonicalizes the schedule in place and checks every structural
+// rule the kernel depends on:
+//
+//   - every event cycle in [0, horizon)
+//   - router IDs on the grid; link ports 0..3 and wired
+//   - per target, events strictly alternate down → up → down … starting
+//     with down, at strictly increasing cycles (no duplicates, no same-cycle
+//     down+up pair)
+//   - every down is matched by a later up, so no fault is permanent and
+//     Drain is guaranteed to terminate
+//   - at most MaxEvents events
+//
+// The empty schedule is valid and equivalent to no schedule at all.
+func (s *Schedule) Validate(t Topo, horizon int64) error {
+	if len(s.Events) > MaxEvents {
+		return fmt.Errorf("fault: %d events exceeds limit %d", len(s.Events), MaxEvents)
+	}
+	s.Canon()
+	routers := t.Routers()
+	for _, e := range s.Events {
+		if e.Kind < 0 || e.Kind >= numKinds {
+			return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+		}
+		if e.Cycle < 0 || e.Cycle >= horizon {
+			return fmt.Errorf("fault: event cycle %d outside [0, %d)", e.Cycle, horizon)
+		}
+		if e.Router < 0 || e.Router >= routers {
+			return fmt.Errorf("fault: router %d out of range [0, %d)", e.Router, routers)
+		}
+		if e.Kind.IsLink() {
+			if e.Port < 0 || e.Port > 3 {
+				return fmt.Errorf("fault: link port %d outside direction ports 0..3", e.Port)
+			}
+			if !wired(t, e.Router, e.Port) {
+				return fmt.Errorf("fault: router %d port %d is off the grid edge", e.Router, e.Port)
+			}
+		} else if e.Port != 0 {
+			return fmt.Errorf("fault: router event carries nonzero port %d", e.Port)
+		}
+	}
+	// Per-target alternation at strictly increasing cycles, closed by an up.
+	type phase struct {
+		down  bool
+		cycle int64
+	}
+	open := make(map[target]phase)
+	for _, e := range s.Events {
+		tg := e.target()
+		p, seen := open[tg]
+		if seen && e.Cycle <= p.cycle {
+			return fmt.Errorf("fault: events for router %d port %d at non-increasing cycles (%d then %d)",
+				tg.router, tg.port, p.cycle, e.Cycle)
+		}
+		if e.Kind.IsDown() {
+			if seen && p.down {
+				return fmt.Errorf("fault: router %d port %d taken down twice without an up", tg.router, tg.port)
+			}
+			open[tg] = phase{down: true, cycle: e.Cycle}
+		} else {
+			if !seen || !p.down {
+				return fmt.Errorf("fault: up event for router %d port %d without a preceding down", tg.router, tg.port)
+			}
+			open[tg] = phase{down: false, cycle: e.Cycle}
+		}
+	}
+	for tg, p := range open {
+		if p.down {
+			return fmt.Errorf("fault: router %d port %d is taken down at cycle %d and never restored", tg.router, tg.port, p.cycle)
+		}
+	}
+	return nil
+}
+
+// State replays a validated schedule at runtime. All methods are called from
+// the kernel's main goroutine only; the dead-state queries (LinkDead,
+// RouterDead) are read concurrently by shard workers, which is safe because
+// the main phase mutates state strictly before shard phases run (channel
+// sync provides the happens-before edge).
+type State struct {
+	policy     Policy
+	events     []Event
+	next       int
+	linkDown   []bool // indexed router*4 + port
+	routerDown []bool
+	// nbr[router*4+port] is the router at the far end of direction port
+	// out, or -1 when the port is unwired. A link is dead when either its
+	// own down flag is set or either endpoint router is down.
+	nbr []int
+}
+
+// NewState builds runtime state for a validated schedule over a mesh-like
+// topology. nbr maps (router*4 + port) to the far-end router or -1.
+func NewState(s Schedule, routers int, nbr []int) *State {
+	if len(nbr) != routers*4 {
+		panic(fmt.Sprintf("fault: neighbor table length %d != %d routers * 4", len(nbr), routers))
+	}
+	return &State{
+		policy:     s.Policy,
+		events:     s.Events,
+		linkDown:   make([]bool, routers*4),
+		routerDown: make([]bool, routers),
+		nbr:        nbr,
+	}
+}
+
+// Policy returns the schedule's drop policy.
+func (st *State) Policy() Policy { return st.policy }
+
+// Take returns the events due at exactly cycle now and advances the cursor.
+// The fast path (no event due) is a single comparison and allocates nothing;
+// the returned slice aliases the schedule.
+func (st *State) Take(now int64) []Event {
+	if st.next >= len(st.events) || st.events[st.next].Cycle != now {
+		return nil
+	}
+	lo := st.next
+	for st.next < len(st.events) && st.events[st.next].Cycle == now {
+		st.next++
+	}
+	return st.events[lo:st.next]
+}
+
+// Pending reports whether any events remain unapplied.
+func (st *State) Pending() bool { return st.next < len(st.events) }
+
+// AnyDown reports whether any link or router is currently down.
+func (st *State) AnyDown() bool {
+	for _, d := range st.routerDown {
+		if d {
+			return true
+		}
+	}
+	for _, d := range st.linkDown {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply folds one event into the state.
+func (st *State) Apply(e Event) {
+	switch e.Kind {
+	case LinkDown:
+		st.linkDown[e.Router*4+e.Port] = true
+	case LinkUp:
+		st.linkDown[e.Router*4+e.Port] = false
+	case RouterDown:
+		st.routerDown[e.Router] = true
+	case RouterUp:
+		st.routerDown[e.Router] = false
+	}
+}
+
+// LinkDead reports whether output port out of router r is currently unusable:
+// the link itself is down, the sending router is down, or the receiving
+// router is down. Ejection ports (out >= 4) are dead only with their router.
+func (st *State) LinkDead(r, out int) bool {
+	if st.routerDown[r] {
+		return true
+	}
+	if out >= 4 {
+		return false
+	}
+	i := r*4 + out
+	if st.linkDown[i] {
+		return true
+	}
+	if n := st.nbr[i]; n >= 0 && st.routerDown[n] {
+		return true
+	}
+	return false
+}
+
+// RouterDead reports whether router r is currently down.
+func (st *State) RouterDead(r int) bool { return st.routerDown[r] }

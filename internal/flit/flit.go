@@ -95,6 +95,11 @@ type Packet struct {
 	// coherence message); the network never inspects it.
 	Meta any
 
+	// Dropped marks packets killed by a fault (dead link or router). It
+	// guards against double-kill when several fault sweeps reach the same
+	// packet in one storm; pool recycling clears it.
+	Dropped bool
+
 	// pooled marks packets owned by a Pool; only those re-enter the free
 	// list on recycle.
 	pooled bool

@@ -29,6 +29,7 @@ import (
 
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/energy"
+	"pseudocircuit/internal/fault"
 	"pseudocircuit/internal/flit"
 	"pseudocircuit/internal/obs"
 	"pseudocircuit/internal/router"
@@ -94,6 +95,15 @@ type Node interface {
 	CheckInvariants()
 }
 
+// faultNode is the teardown surface a router must additionally provide when
+// a fault schedule is configured. It is deliberately not part of Node so
+// fault-free configurations keep accepting any Node implementation.
+type faultNode interface {
+	FaultScan(fc *router.FaultContext)
+	FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet))
+	FaultPurge(p *flit.Packet, drop func(f *flit.Flit))
+}
+
 // NodeFactory builds router id with the given radix; rcfg carries the shared
 // router configuration (callbacks, meters). A nil factory builds the
 // standard router.
@@ -124,6 +134,13 @@ type Config struct {
 	// way (the determinism harness asserts this); the naive kernel exists
 	// as the reference for that comparison.
 	Naive bool
+
+	// Faults declares a deterministic fault schedule: cycle-stamped
+	// link/router down/up events applied inside the kernel's main phase, so
+	// faulted runs stay bit-identical across all kernels and worker counts.
+	// The schedule must satisfy fault.Schedule.Validate on the network's
+	// topology; nil or empty behaves exactly like no schedule at all.
+	Faults *fault.Schedule
 
 	// Observability probes, all opt-in and observation-only: enabling any of
 	// them cannot change simulation results, and leaving them nil (the
@@ -201,6 +218,10 @@ type shard struct {
 
 	pendInj  []pending
 	pendTick []pending
+	// pendKill buffers hop-limit victims found while latching this shard's
+	// due deliveries; the main goroutine condemns them in shard order after
+	// the phases, reproducing the sequential kernel's due-order kills.
+	pendKill []*flit.Packet
 
 	// work carries one token per cycle: true = run this cycle's phases,
 	// false = exit the worker goroutine (acknowledged on Network.done).
@@ -250,6 +271,41 @@ type Network struct {
 	// reached a fixed point. naive bypasses the active set entirely.
 	active []bool
 	naive  bool
+
+	// Fault machinery (nil/empty without a schedule): the replayed schedule
+	// state, the node→home-router table, per-router wired/dead closures
+	// (precomputed so fault-aware route computation allocates nothing on the
+	// hot path), the misroute livelock bound, and the scratch victim list
+	// reused across purges.
+	faults   *fault.State
+	home     []int
+	wiredFn  []func(out int) bool
+	deadFn   []func(out int) bool
+	hopLimit int
+	victims  []*flit.Packet
+	// Wedge watchdog (active only with a schedule): fault detours are not
+	// covered by XY's turn restrictions, so a storm can leave packets in a
+	// buffer-dependency cycle that never moves again — invisible to the hop
+	// limit, which only fires on flits that still travel. lastMove/stallRun
+	// track whole-network progress from the main phase; stallLimit cycles of
+	// total standstill with flits in flight (and no fault currently down,
+	// when waiting is legitimate) purge the fabric so runs and drains
+	// terminate.
+	lastMove   uint64
+	stallRun   int
+	stallLimit int
+	condemnFn  func(p *flit.Packet) // hoisted n.condemn (per-call method values allocate)
+	// Stale sweep (the watchdog's partial-wedge companion): a detour
+	// deadlock that other traffic keeps flowing around never trips the
+	// standstill watchdog, so every staleScanEvery cycles resident packets
+	// whose network residence exceeds staleLimit are condemned — a bounded
+	// residence time, enforced only when a schedule is configured. staleHold
+	// records the last cycle any fault was down: while one is, parking in
+	// front of it is legitimate waiting, so the sweep pauses and resumes
+	// only a full staleLimit after recovery, giving released packets the
+	// same residence budget a fresh one gets.
+	staleLimit sim.Cycle
+	staleHold  sim.Cycle
 
 	// Parallel kernel state (nil/zero when Opts.Workers <= 1): the shards,
 	// the shared completion channel, whether worker goroutines are live
@@ -319,6 +375,55 @@ func New(cfg Config) *Network {
 	}
 	n.ring = make([][]delivery, maxLat+3)
 
+	// Fault schedule: validated defensively (the spec layer validates with
+	// the real horizon; here only structure matters), replayed by a State
+	// whose dead-queries shard workers may read while the main phase holds
+	// it constant. The empty schedule is deliberately identical to no
+	// schedule: no state, no hop limit, no extra branches anywhere.
+	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
+		ft, ok := t.(fault.Topo)
+		if !ok {
+			panic(fmt.Sprintf("network: fault schedules are not supported on %T", t))
+		}
+		sched := fault.Schedule{
+			Policy: cfg.Faults.Policy,
+			Events: append([]fault.Event(nil), cfg.Faults.Events...),
+		}
+		if err := sched.Validate(ft, 1<<62); err != nil {
+			panic(fmt.Sprintf("network: invalid fault schedule: %v", err))
+		}
+		n.faults = fault.NewState(sched, t.Routers(), fault.NeighborTable(ft))
+		// Misrouting around dead links can exceed the minimal hop count;
+		// bound it so a pathological schedule becomes packet drops, never
+		// livelock. Generous: a detour never needs more than a few grid
+		// perimeters.
+		n.hopLimit = 4*t.Routers() + 64
+		// Wedge watchdog threshold: far above any transient (link latencies
+		// are single-digit; with flits in flight and no fault down, a healthy
+		// network cannot go this long without a single buffer write or link
+		// traversal anywhere), far below any drain horizon a test would use.
+		n.stallLimit = 1024
+		// Stale bound: far above any healthy residence time at the operating
+		// points the experiments run (latencies are tens to hundreds of
+		// cycles), small enough that a wedge clears within a few thousand
+		// cycles of forming.
+		n.staleLimit = 2048
+		n.condemnFn = n.condemn
+		nbr := fault.NeighborTable(ft)
+		n.wiredFn = make([]func(out int) bool, t.Routers())
+		n.deadFn = make([]func(out int) bool, t.Routers())
+		for r := 0; r < t.Routers(); r++ {
+			r := r
+			n.wiredFn[r] = func(out int) bool { return nbr[r*4+out] >= 0 }
+			n.deadFn[r] = func(out int) bool { return n.faults.LinkDead(r, out) }
+		}
+		n.home = make([]int, t.Nodes())
+		for node := 0; node < t.Nodes(); node++ {
+			hr, _, _ := t.NodeRouter(node)
+			n.home[node] = hr
+		}
+	}
+
 	n.rcfg = &router.Config{
 		NumVCs:   cfg.NumVCs,
 		BufDepth: cfg.BufDepth,
@@ -330,6 +435,10 @@ func New(cfg Config) *Network {
 		Credit:   n.sendCredit,
 		Reg:      cfg.Registry,
 		Trace:    cfg.Tracer,
+	}
+	if n.faults != nil {
+		n.rcfg.LinkUp = func(id, out int) bool { return !n.faults.LinkDead(id, out) }
+		n.rcfg.Reroute = func(id, dst, class int) int { return n.routeFor(id, dst, class) }
 	}
 	// Shard the routers and NIs for the parallel kernel. The naive reference
 	// loop and the tracer stay sequential: naive exists precisely as the
@@ -372,6 +481,11 @@ func New(cfg Config) *Network {
 	n.routers = make([]Node, t.Routers())
 	for r := range n.routers {
 		n.routers[r] = factory(r, t.InPorts(r), t.OutPorts(r), n.routerConfig(r))
+		if n.faults != nil {
+			if _, ok := n.routers[r].(faultNode); !ok {
+				panic(fmt.Sprintf("network: router %T cannot run under a fault schedule", n.routers[r]))
+			}
+		}
 	}
 	n.nis = make([]*ni, t.Nodes())
 	n.ups = make([][]upstream, t.Routers())
@@ -459,6 +573,22 @@ func (n *Network) Inject(p *flit.Packet) {
 	p.ID = n.nextID
 	n.nextID++
 	p.Injected = n.now
+	if n.faults != nil && n.faults.RouterDead(n.home[p.Dst]) {
+		// The destination's home router is down: the packet can never be
+		// delivered, so it is accounted and dropped at the source instead of
+		// wedging a queue behind an unreachable destination.
+		n.Stats.PacketsInjected++
+		n.Stats.PacketsDropped++
+		if tr := n.tracer; tr != nil {
+			tr.Record(obs.Event{
+				Cycle: int64(n.now), Kind: obs.Drop, Packet: p.ID, Seq: -1,
+				Src: int32(p.Src), Dst: int32(p.Dst), Loc: int32(p.Src),
+				In: -1, VC: -1, Out: -1,
+			})
+		}
+		n.pool.RecyclePacket(p)
+		return
+	}
 	n.nis[p.Src].enqueue(p)
 	n.inFlight++
 	n.Stats.PacketsInjected++
@@ -497,8 +627,19 @@ func (n *Network) resolveFlit(id, out int, f *flit.Flit) (int, delivery) {
 		f.NextOut = -1
 		return h.Latency + 1, delivery{flit: f, router: -1, port: h.InPort}
 	}
-	f.NextOut = n.engine.Route(h.Router, f.Packet.Dst, f.RouteClass)
+	f.NextOut = n.routeFor(h.Router, f.Packet.Dst, f.RouteClass)
 	return h.Latency + 1, delivery{flit: f, router: h.Router, port: h.InPort}
+}
+
+// routeFor computes lookahead routing at router r: plain dimension-order
+// when no fault schedule is configured, the fault-aware detour otherwise.
+// Safe to call from shard workers — the fault state is mutated only by the
+// main phase, strictly before shard phases run.
+func (n *Network) routeFor(r, dst, class int) int {
+	if n.faults == nil {
+		return n.engine.Route(r, dst, class)
+	}
+	return n.engine.RouteAvoid(r, dst, class, n.wiredFn[r], n.deadFn[r])
 }
 
 // resolveCredit resolves a credit return to whatever feeds (id, in), with
@@ -537,6 +678,18 @@ func (n *Network) schedule(latency int, d delivery) {
 
 // Step advances the simulation one cycle.
 func (n *Network) Step(w Workload) {
+	// Fault events land first, on the main goroutine, strictly before any
+	// delivery or router work: the fault state is therefore constant for the
+	// rest of the cycle, whichever kernel runs it.
+	if n.faults != nil {
+		n.applyFaults()
+		n.watchdog()
+		if n.faults.AnyDown() {
+			n.staleHold = n.now
+		} else if int(n.now)&(staleScanEvery-1) == 0 {
+			n.staleScan()
+		}
+	}
 	if n.shards != nil {
 		n.stepSharded(w)
 		return
@@ -550,6 +703,9 @@ func (n *Network) Step(w Workload) {
 	for _, d := range due {
 		switch {
 		case d.flit != nil && d.router >= 0:
+			if n.hopLimit > 0 && d.flit.Kind.IsHead() && d.flit.Packet.Hops > n.hopLimit {
+				n.condemn(d.flit.Packet)
+			}
 			n.routers[d.router].Deliver(d.port, d.flit)
 			n.active[d.router] = true
 		case d.flit != nil:
@@ -596,6 +752,12 @@ func (n *Network) Step(w Workload) {
 				r.CheckInvariants()
 			}
 		}
+	}
+	// Hop-limit victims condemned during delivery are purged only now, when
+	// every flit the cycle produced has reached the ring where the purge
+	// sweep can find it.
+	if len(n.victims) > 0 {
+		n.purgeVictims()
 	}
 	n.now++
 	n.Stats.MeasuredTo = n.now
@@ -670,6 +832,28 @@ func (n *Network) stepSharded(w Workload) {
 		}
 		sh.pendTick = sh.pendTick[:0]
 	}
+	// Hop-limit victims the shards found while latching deliveries: condemn
+	// in shard order (= ascending router order, matching the sequential due
+	// loop's kills — purge effects commute, so within-slot order is enough)
+	// and purge now that every shard-buffered send has been merged into the
+	// ring. Purging may emit relay credits through shard Credit callbacks;
+	// drain those immediately so they land in the same ring slot as under
+	// the sequential kernel.
+	for _, sh := range n.shards {
+		for _, p := range sh.pendKill {
+			n.condemn(p)
+		}
+		sh.pendKill = sh.pendKill[:0]
+	}
+	if len(n.victims) > 0 {
+		n.purgeVictims()
+		for _, sh := range n.shards {
+			for _, p := range sh.pendTick {
+				n.schedule(p.lat, p.d)
+			}
+			sh.pendTick = sh.pendTick[:0]
+		}
+	}
 	for _, sh := range n.shards {
 		n.Stats.MergeCounters(&sh.stats)
 		n.Energy.MergeCounts(&sh.energy)
@@ -692,6 +876,9 @@ func (n *Network) shardPhase(sh *shard) {
 			continue
 		}
 		if d.flit != nil {
+			if n.hopLimit > 0 && d.flit.Kind.IsHead() && d.flit.Packet.Hops > n.hopLimit {
+				sh.pendKill = append(sh.pendKill, d.flit.Packet)
+			}
 			n.routers[d.router].Deliver(d.port, d.flit)
 		} else {
 			n.routers[d.router].DeliverCredit(d.port, d.vc)
@@ -754,6 +941,319 @@ func (n *Network) workerLoop(sh *shard) {
 		n.done <- struct{}{}
 	}
 	n.done <- struct{}{}
+}
+
+// applyFaults replays the fault events due this cycle. The fast path — no
+// event due — is a single comparison and allocates nothing; event cycles may
+// allocate freely (fault storms are rare by construction). Any down event
+// triggers a storm scan tearing down pseudo-circuits and packets stranded on
+// dead resources. Every event re-activates all routers: an up event can
+// unblock flits parked behind a dead link, and the storm scan mutates router
+// state directly.
+func (n *Network) applyFaults() {
+	evs := n.faults.Take(int64(n.now))
+	if len(evs) == 0 {
+		return
+	}
+	anyDown := false
+	for _, e := range evs {
+		n.faults.Apply(e)
+		n.Stats.FaultEvents++
+		if e.Kind.IsDown() {
+			anyDown = true
+		}
+		if tr := n.tracer; tr != nil {
+			kind, out := obs.RouterUp, int32(-1)
+			switch e.Kind {
+			case fault.LinkDown:
+				kind, out = obs.LinkDown, int32(e.Port)
+			case fault.LinkUp:
+				kind, out = obs.LinkUp, int32(e.Port)
+			case fault.RouterDown:
+				kind = obs.RouterDown
+			}
+			tr.Record(obs.Event{
+				Cycle: int64(n.now), Kind: kind, Packet: 0, Seq: -1,
+				Src: -1, Dst: -1, Loc: int32(e.Router), In: -1, VC: -1, Out: out,
+			})
+		}
+	}
+	for i := range n.active {
+		n.active[i] = true
+	}
+	if anyDown {
+		n.stormScan()
+	}
+}
+
+// watchdog detects and breaks total standstill. Fault detours do not obey
+// the routing algorithm's turn restrictions, so a storm can leave packets in
+// a buffer-dependency cycle — each waiting for a credit only another member
+// of the cycle can release. Such a wedge makes no progress at all, so the
+// hop limit (which fires on delivery) never sees it. The watchdog watches
+// global movement counters from the main phase: stallLimit consecutive
+// cycles with flits in flight, no fault currently down (while one is down,
+// parking in front of it is legitimate waiting) and not a single buffer
+// write, link traversal, delivery or drop anywhere condemns the whole
+// fabric population, accounted as fault drops. The counters are merged
+// identically by every kernel, so the watchdog fires on the same cycle at
+// every worker count. A wedge that forms while other traffic still flows is
+// only detected once that traffic drains — the bound is eventual
+// termination, not bounded staleness.
+func (n *Network) watchdog() {
+	moved := n.Energy.Writes + n.Energy.Traversals +
+		n.Stats.PacketsDelivered + n.Stats.PacketsDropped
+	if n.inFlight == 0 || n.faults.AnyDown() || moved != n.lastMove {
+		n.lastMove = moved
+		n.stallRun = 0
+		return
+	}
+	if n.stallRun++; n.stallRun < n.stallLimit {
+		return
+	}
+	n.breakWedge()
+	n.stallRun = 0
+}
+
+// staleScanEvery is the stale-sweep period: rare enough that the sweep's
+// O(routers × VCs) cost amortizes to noise, frequent enough that the
+// effective residence bound stays close to staleLimit.
+const staleScanEvery = 64
+
+// staleScan condemns every router-resident packet whose network residence
+// (measured from NetStart, the cycle its header left the source NI) exceeds
+// staleLimit, plus any packet mid-injection at an NI whose header is that
+// old (it is already in the fabric, possibly inside a wedge). Packets still
+// waiting whole in a source queue are left alone — they hold no network
+// resources, however long they have existed. The sweep is held while any
+// fault is down and for staleLimit cycles after the last recovery
+// (staleHold): packets parked in front of a dead resource are waiting
+// legitimately, and once released they keep their original NetStart, so
+// without the grace period recovery would be followed by an immediate
+// massacre of exactly the packets the reroute policy just saved. Runs on
+// the kernel's main phase, so the sweep order (ascending router, then node)
+// is the deterministic condemnation order.
+func (n *Network) staleScan() {
+	if n.staleHold+n.staleLimit > n.now {
+		return
+	}
+	cutoff := n.now - n.staleLimit
+	for _, node := range n.routers {
+		node.(faultNode).FaultStale(cutoff, n.condemnFn)
+	}
+	for _, s := range n.nis {
+		if s.cur != nil && s.idx > 0 && s.cur[s.idx].Packet.NetStart < cutoff {
+			n.condemn(s.cur[s.idx].Packet)
+		}
+	}
+	if len(n.victims) > 0 {
+		n.purgeVictims()
+		for i := range n.active {
+			n.active[i] = true
+		}
+	}
+}
+
+// breakWedge purges every packet resident in the fabric: router buffers
+// (via the routers' fault-teardown surface, with every router treated as
+// dead), the delivery ring, and any packet mid-injection at an NI. Queued
+// but uninjected packets survive — once the fabric is empty they inject and
+// route normally. Runs on the main phase only.
+func (n *Network) breakWedge() {
+	never := func(int) bool { return false }
+	for _, node := range n.routers {
+		fc := router.FaultContext{
+			RouterDead: true,
+			LinkDead:   never,
+			DstDead:    never,
+			Kill:       n.condemn,
+			PCTerm: func() {
+				n.Stats.PCTerminated++
+				n.Stats.PCFaultTerminated++
+			},
+		}
+		node.(faultNode).FaultScan(&fc)
+	}
+	for _, due := range n.ring {
+		for _, d := range due {
+			if d.flit != nil {
+				n.condemn(d.flit.Packet)
+			}
+		}
+	}
+	for _, s := range n.nis {
+		if s.cur != nil {
+			n.condemn(s.cur[s.idx].Packet)
+		}
+	}
+	n.purgeVictims()
+	for i := range n.active {
+		n.active[i] = true
+	}
+}
+
+// stormScan runs after down events land: it sweeps routers, the delivery
+// ring and the NIs for traffic stranded on dead resources, tears down
+// affected pseudo-circuits, and purges every condemned packet before the
+// cycle's deliveries are processed. It runs on the kernel's main phase, so
+// it may touch any state; determinism needs only a fixed sweep order, which
+// ascending router/slot/node order provides.
+func (n *Network) stormScan() {
+	st := n.faults
+	salvage := st.Policy() == fault.Reroute
+	for r, node := range n.routers {
+		r := r
+		fc := router.FaultContext{
+			RouterDead: st.RouterDead(r),
+			LinkDead:   func(out int) bool { return st.LinkDead(r, out) },
+			DstDead:    func(dst int) bool { return st.RouterDead(n.home[dst]) },
+			Salvage:    salvage,
+			Reroute:    func(dst, class int) int { return n.routeFor(r, dst, class) },
+			Kill:       n.condemn,
+			Salvaged:   func(p *flit.Packet) { n.Stats.PacketsRerouted++ },
+			PCTerm: func() {
+				n.Stats.PCTerminated++
+				n.Stats.PCFaultTerminated++
+			},
+		}
+		node.(faultNode).FaultScan(&fc)
+	}
+	// In-flight flits: a packet dies when one of its flits is mid-link on a
+	// dead feeder, when its destination's home router died, or when it is an
+	// express flit whose committed continuation link died (express flits
+	// cannot buffer at the intermediate router they bypass).
+	for _, due := range n.ring {
+		for _, d := range due {
+			f := d.flit
+			if f == nil {
+				continue
+			}
+			if d.router < 0 {
+				if st.RouterDead(n.nis[d.port].router) {
+					n.condemn(f.Packet)
+				}
+				continue
+			}
+			u := n.ups[d.router][d.port]
+			switch {
+			case u.router >= 0 && st.LinkDead(u.router, u.out):
+				n.condemn(f.Packet)
+			case u.router == -1 && st.RouterDead(d.router):
+				n.condemn(f.Packet)
+			case st.RouterDead(n.home[f.Packet.Dst]):
+				n.condemn(f.Packet)
+			case f.ExpressHops > 0 && st.LinkDead(d.router, f.NextOut):
+				n.condemn(f.Packet)
+			}
+		}
+	}
+	// Source queues: packets bound for a dead home router can never deliver.
+	// Packets queued at a dead source router are held, not killed — their
+	// injection is gated until the router recovers.
+	for _, s := range n.nis {
+		if s.cur != nil {
+			if p := s.cur[s.idx].Packet; st.RouterDead(n.home[p.Dst]) {
+				n.condemn(p)
+			}
+		}
+		for _, p := range s.queue {
+			if st.RouterDead(n.home[p.Dst]) {
+				n.condemn(p)
+			}
+		}
+	}
+	n.purgeVictims()
+}
+
+// condemn marks a packet for purging, once; repeated reports (a packet can
+// trip several teardown rules in one storm) are deduplicated by the Dropped
+// flag, which pool recycling clears.
+func (n *Network) condemn(p *flit.Packet) {
+	if p == nil || p.Dropped {
+		return
+	}
+	p.Dropped = true
+	n.victims = append(n.victims, p)
+}
+
+// purgeVictims purges every condemned packet in condemnation order.
+func (n *Network) purgeVictims() {
+	for _, p := range n.victims {
+		n.purgePacket(p)
+	}
+	n.victims = n.victims[:0]
+}
+
+// purgePacket removes every trace of a condemned packet: its in-flight ring
+// deliveries, its buffered flits and VC allocations inside routers, its
+// injection state at the source NI, and its reassembly state at the
+// destination. Credits are bookkeeping, not payload — every removed flit
+// that debited a downstream buffer slot returns exactly one credit, so a
+// fault can never leak buffer space and the network cannot wedge.
+func (n *Network) purgePacket(p *flit.Packet) {
+	for slot, due := range n.ring {
+		kept := due[:0]
+		for _, d := range due {
+			if d.flit == nil || d.flit.Packet != p {
+				kept = append(kept, d)
+				continue
+			}
+			f := d.flit
+			if d.router >= 0 {
+				// The flit was heading into a buffer slot its sender already
+				// debited; hand the credit straight back. Credit increments
+				// commute, so delivering it now rather than through the ring
+				// cannot change results.
+				u := n.ups[d.router][d.port]
+				if u.router >= 0 {
+					n.routers[u.router].DeliverCredit(u.out, f.VC)
+				} else {
+					n.nis[u.out].credit(f.VC)
+				}
+			}
+			n.dropFlit(f)
+		}
+		n.ring[slot] = kept
+	}
+	for _, node := range n.routers {
+		node.(faultNode).FaultPurge(p, n.dropFlit)
+	}
+	// Source NI: unsent flits, the injection VC, and the queue entry.
+	src := n.nis[p.Src]
+	if src.cur != nil && src.cur[src.idx].Packet == p {
+		for i := src.idx; i < len(src.cur); i++ {
+			n.dropFlit(src.cur[i])
+		}
+		if src.outVC >= 0 {
+			src.busy[src.outVC] = false
+		}
+		src.cur = nil
+		src.outVC = -1
+	}
+	for i, q := range src.queue {
+		if q == p {
+			src.queue = append(src.queue[:i], src.queue[i+1:]...)
+			break
+		}
+	}
+	delete(n.nis[p.Dst].rx, p.ID)
+	n.inFlight--
+	n.Stats.PacketsDropped++
+	if tr := n.tracer; tr != nil {
+		tr.Record(obs.Event{
+			Cycle: int64(n.now), Kind: obs.Drop, Packet: p.ID, Seq: -1,
+			Src: int32(p.Src), Dst: int32(p.Dst), Loc: int32(p.Src),
+			In: -1, VC: -1, Out: -1,
+		})
+	}
+	n.pool.RecyclePacket(p)
+}
+
+// dropFlit accounts and recycles one purged flit (to its source node's pool,
+// like normal ejection, so per-shard free lists stay balanced).
+func (n *Network) dropFlit(f *flit.Flit) {
+	n.Stats.FlitsDropped++
+	n.nis[f.Packet.Src].fpool.RecycleFlit(f)
 }
 
 // Run advances the simulation for cycles cycles.

@@ -84,6 +84,9 @@ func (s *ni) enqueue(p *flit.Packet) {
 // inject advances the injection state machine by one cycle: start the next
 // packet if idle, allocate a VC, and send at most one flit.
 func (s *ni) inject(now sim.Cycle) {
+	if s.net.faults != nil && s.net.faults.RouterDead(s.router) {
+		return // our router is down; hold everything until it recovers
+	}
 	if s.cur == nil {
 		if len(s.queue) == 0 {
 			return
@@ -114,7 +117,7 @@ func (s *ni) inject(now sim.Cycle) {
 	f := s.cur[s.idx]
 	f.VC = s.outVC
 	f.RouteClass = s.class
-	f.NextOut = s.net.engine.Route(s.router, p.Dst, s.class)
+	f.NextOut = s.net.routeFor(s.router, p.Dst, s.class)
 	f.InjectedAt = now
 	f.EnteredNet = now
 	if f.Kind.IsHead() {

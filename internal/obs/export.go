@@ -138,13 +138,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		tid := int64(ev.In)
 		ph, dur, scope := "X", int64(1), ""
 		switch ev.Kind {
-		case Inject, Eject:
+		case Inject, Eject, Drop:
 			pid = niPidBase + int64(ev.Loc)
 			procName = fmt.Sprintf("ni %d", ev.Loc)
 			tid = int64(ev.VC)
 			ph, dur, scope = "i", 0, "t"
 		case SAGrant:
 			ph, dur, scope = "i", 0, "t"
+		case LinkDown, LinkUp, RouterDown, RouterUp:
+			// Process-scoped instants on the faulted router's lane.
+			ph, dur, scope = "i", 0, "p"
 		}
 		if tid < 0 {
 			tid = 0
@@ -158,8 +161,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				return err
 			}
 		}
+		name := fmt.Sprintf("%s p%d.%d", ev.Kind, ev.Packet, ev.Seq)
+		switch ev.Kind {
+		case LinkDown, LinkUp:
+			name = fmt.Sprintf("%s out%d", ev.Kind, ev.Out)
+		case RouterDown, RouterUp:
+			name = ev.Kind.String()
+		}
 		if err := emit(chromeEvent{
-			Name: fmt.Sprintf("%s p%d.%d", ev.Kind, ev.Packet, ev.Seq),
+			Name: name,
 			Ph:   ph, Ts: ev.Cycle, Dur: dur, Pid: pid, Tid: tid, S: scope,
 			Args: chromeArgs{Pkt: ev.Packet, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst, VC: ev.VC, Out: ev.Out},
 		}); err != nil {

@@ -28,11 +28,27 @@ const (
 	Bypass
 	// Eject: a flit reached its destination NI.
 	Eject
+	// LinkDown: a scheduled fault disabled a router's direction link. Fault
+	// events carry no flit identity: Packet is 0 and Seq/Src/Dst/In/VC are -1;
+	// Loc is the router and Out the failed port.
+	LinkDown
+	// LinkUp: a scheduled fault re-enabled a direction link.
+	LinkUp
+	// RouterDown: a scheduled fault disabled a whole router (Out is -1).
+	RouterDown
+	// RouterUp: a scheduled fault re-enabled a router.
+	RouterUp
+	// Drop: a packet was killed by a fault (purged, credits replenished).
+	// Recorded once per packet against its head flit at the source NI.
+	Drop
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"inject", "bw", "sa", "st", "bypass", "eject"}
+var kindNames = [numKinds]string{
+	"inject", "bw", "sa", "st", "bypass", "eject",
+	"link-down", "link-up", "router-down", "router-up", "drop",
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -63,6 +63,15 @@ type Config struct {
 	Reg *stats.Registry
 	// Trace enables flit-lifecycle event recording when non-nil.
 	Trace *obs.Tracer
+	// LinkUp reports whether output port out of router id is currently
+	// usable; nil means no fault schedule is configured (always up). Fault
+	// state changes only in the kernel's main phase, so the callback is
+	// read-only during router ticks and safe to call from shard workers.
+	LinkUp func(id, out int) bool
+	// Reroute returns a detour output port at router id for a packet to
+	// dst with routing class class whose nominal port is dead (fault-aware
+	// routing); nil when no fault schedule is configured.
+	Reroute func(id, dst, class int) int
 }
 
 // vcState tracks the packet currently owning an input VC (wormhole: one
@@ -77,12 +86,14 @@ type vcState struct {
 	class   int
 	src     int
 	dst     int
+	pkt     *flit.Packet // the packet owning the VC (fault teardown needs it even when buf is empty)
 }
 
 func (v *vcState) reset() {
 	v.active = false
 	v.outPort = -1
 	v.outVC = -1
+	v.pkt = nil
 }
 
 type inputPort struct {
@@ -297,6 +308,11 @@ func (r *Router) executeReservations(now sim.Cycle) {
 		if vs.outVC < 0 {
 			continue
 		}
+		// A fault storm may have killed or salvaged the VC since the grant
+		// (which also resets outVC, caught above); this guards the port too.
+		if r.linkDead(res.out) {
+			continue
+		}
 		// Credits may have been drained by a pseudo-circuit traversal after
 		// the request was credit-checked; re-verify and retry on failure.
 		if !r.out[res.out].hasCredit(vs.outVC) {
@@ -336,9 +352,22 @@ func (r *Router) admit(vs *vcState, h *flit.Flit) {
 	vs.class = h.RouteClass
 	vs.src = h.Packet.Src
 	vs.dst = h.Packet.Dst
+	vs.pkt = h.Packet
 	if vs.outPort < 0 || vs.outPort >= len(r.out) {
 		panic(fmt.Sprintf("router %d: header %v carries invalid output port %d", r.ID, h, vs.outPort))
 	}
+	// Lookahead routing computed NextOut at the previous hop; a fault storm
+	// between then and now may have killed the link. Re-route at admission
+	// so the stale lookahead cannot commit the packet to a dead port.
+	if r.cfg.Reroute != nil && vs.outPort < 4 && r.linkDead(vs.outPort) {
+		vs.outPort = r.cfg.Reroute(r.ID, vs.dst, vs.class)
+	}
+}
+
+// linkDead reports whether output port out is currently unusable under the
+// configured fault schedule; always false without one.
+func (r *Router) linkDead(out int) bool {
+	return r.cfg.LinkUp != nil && !r.cfg.LinkUp(r.ID, out)
 }
 
 // allocateVCs performs VA for admitted packets without an output VC
@@ -365,6 +394,9 @@ func (r *Router) allocateVCs(now sim.Cycle) {
 // success.
 func (r *Router) tryVA(vs *vcState) bool {
 	o := r.out[vs.outPort]
+	if !o.ejection && r.linkDead(vs.outPort) {
+		return false // dead link: hold the packet until recovery or reroute
+	}
 	var v int
 	if o.ejection {
 		// The receiver NI drains every VC; allocate within the class.
@@ -394,6 +426,9 @@ func (r *Router) classify(now sim.Cycle) {
 			}
 			if in.vcs[v].at[0] >= now {
 				continue // still in BW this cycle
+			}
+			if r.linkDead(vs.outPort) {
+				continue // dead link: stall until recovery or the storm's reroute
 			}
 			if vs.outVC < 0 {
 				// Header whose VA failed: issue a speculative SA request
@@ -564,6 +599,9 @@ func (r *Router) maintainPseudoCircuits() {
 		if !op.hist.Valid || r.outputHasPC(o) || r.outputReserved(o) {
 			continue
 		}
+		if r.linkDead(o) {
+			continue // never speculate a circuit across a dead link
+		}
 		if !op.anyCredit() && !r.cfg.Opts.SpeculateToCongested {
 			continue
 		}
@@ -662,6 +700,9 @@ func (r *Router) tryBypass(now sim.Cycle, i int, f *flit.Flit) bool {
 		if vs.active {
 			return false // previous packet's tail still in flight upstream of us
 		}
+		if r.linkDead(f.NextOut) {
+			return false // dead onward link: buffer, then re-route at admission
+		}
 		if !in.pc.Match(f.VC, f.NextOut) || r.busyOut[f.NextOut] {
 			return false
 		}
@@ -675,6 +716,9 @@ func (r *Router) tryBypass(now sim.Cycle, i int, f *flit.Flit) bool {
 	} else {
 		if !vs.active || vs.outVC < 0 {
 			panic(fmt.Sprintf("router %d: body flit %v arrived on idle VC", r.ID, f))
+		}
+		if r.linkDead(vs.outPort) {
+			return false
 		}
 		if !in.pc.Match(f.VC, vs.outPort) || r.busyOut[vs.outPort] {
 			return false
@@ -830,6 +874,134 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 // OutputSends returns per-output-port flit counts over the router's
 // lifetime (link-utilization diagnostics).
 func (r *Router) OutputSends() []uint64 { return r.outSends }
+
+// FaultContext parameterizes a fault storm sweep over one router. All
+// callbacks run on the kernel's main goroutine.
+type FaultContext struct {
+	// RouterDead marks the router itself as failed: every held packet is
+	// killed and every pseudo-circuit cleared.
+	RouterDead bool
+	// LinkDead reports whether an output port's link is unusable.
+	LinkDead func(out int) bool
+	// DstDead reports whether a destination node's home router is dead
+	// (such packets cannot be delivered and are killed immediately).
+	DstDead func(dst int) bool
+	// Salvage enables the reroute drop policy: a committed packet whose
+	// header is still buffered at this router is re-routed instead of
+	// killed when its output link dies.
+	Salvage bool
+	// Reroute returns the detour output port for (dst, class).
+	Reroute func(dst, class int) int
+	// Kill reports a victim packet; the network dedups repeated reports of
+	// the same packet and performs the actual purge.
+	Kill func(p *flit.Packet)
+	// Salvaged reports a committed packet re-routed in place.
+	Salvaged func(p *flit.Packet)
+	// PCTerm is called once per pseudo-circuit torn down by the fault.
+	PCTerm func()
+}
+
+// FaultScan applies a fault transition to this router: pseudo-circuits
+// crossing dead links are cleared together with the history that could
+// revive them, packets that can no longer make progress are reported to
+// fc.Kill, and survivors whose committed-but-unallocated output died are
+// re-routed. Called between cycles from the kernel's main phase, so staged
+// arrivals are always nil and scratch state is idle.
+func (r *Router) FaultScan(fc *FaultContext) {
+	for _, in := range r.in {
+		if in.pc.Valid && (fc.RouterDead || fc.LinkDead(in.pc.OutPort)) {
+			in.hist.Drop(in.pc.OutPort)
+			in.pc.Clear()
+			fc.PCTerm()
+		}
+		for _, vs := range in.vcs {
+			for _, f := range vs.buf {
+				if fc.RouterDead || fc.DstDead(f.Packet.Dst) {
+					fc.Kill(f.Packet)
+				}
+			}
+			if !vs.active {
+				continue
+			}
+			switch {
+			case fc.RouterDead || fc.DstDead(vs.dst):
+				fc.Kill(vs.pkt)
+			case vs.outPort < len(r.out) && !r.out[vs.outPort].ejection && fc.LinkDead(vs.outPort):
+				if vs.outVC < 0 {
+					// Not yet committed to an output VC: detour in place.
+					vs.outPort = fc.Reroute(vs.dst, vs.class)
+				} else if fc.Salvage && len(vs.buf) > 0 && vs.buf[0].Kind.IsHead() {
+					// Committed but the whole packet is still here: release
+					// the allocation and detour.
+					r.out[vs.outPort].vcBusy[vs.outVC] = false
+					vs.outVC = -1
+					vs.outPort = fc.Reroute(vs.dst, vs.class)
+					fc.Salvaged(vs.pkt)
+				} else {
+					// Partially forwarded (or salvage disabled): the wormhole
+					// spans the dead link and cannot be reassembled.
+					fc.Kill(vs.pkt)
+				}
+			}
+		}
+	}
+}
+
+// FaultStale reports every packet resident in this router whose header
+// entered the network before cutoff. Fault detours are not covered by the
+// routing algorithm's turn restrictions, so a storm can leave a small set of
+// packets in a buffer-dependency cycle; when other traffic keeps flowing, no
+// global standstill ever appears, and the cycle throttles everything routed
+// through it indefinitely. The stale sweep is the bounded-wait escape: any
+// packet resident that long is either wedged or queued behind a wedge, and
+// killing it frees the cycle. Residence is measured from NetStart (network
+// entry), not Injected (source-queue entry): time spent waiting at the
+// source holds no network resources and must not count against the bound.
+// Called between cycles from the kernel's main phase.
+func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
+	for _, in := range r.in {
+		for _, vs := range in.vcs {
+			for _, f := range vs.buf {
+				if f.Packet.NetStart < cutoff {
+					kill(f.Packet)
+				}
+			}
+			if vs.active && vs.pkt.NetStart < cutoff {
+				kill(vs.pkt)
+			}
+		}
+	}
+}
+
+// FaultPurge removes every flit of packet p from this router: buffered
+// flits are unlinked (their buffer-slot credit is returned upstream through
+// the normal credit path, then drop is called so the network can recycle
+// and account them) and the VC owned by p is released. Reservations held
+// for p skip harmlessly next cycle because the VC's outVC resets. Called
+// from the kernel's main phase only.
+func (r *Router) FaultPurge(p *flit.Packet, drop func(f *flit.Flit)) {
+	for i, in := range r.in {
+		for v, vs := range in.vcs {
+			for k := 0; k < len(vs.buf); {
+				if vs.buf[k].Packet != p {
+					k++
+					continue
+				}
+				f := vs.buf[k]
+				vs.buf = append(vs.buf[:k], vs.buf[k+1:]...)
+				vs.at = append(vs.at[:k], vs.at[k+1:]...)
+				r.cfg.Credit(r.ID, i, v)
+				drop(f)
+			}
+			if vs.active && vs.pkt == p {
+				if vs.outVC >= 0 && !r.out[vs.outPort].ejection {
+					r.out[vs.outPort].vcBusy[vs.outVC] = false
+				}
+				vs.reset()
+			}
+		}
+	}
+}
 
 // Quiescent reports whether the router holds no flits and no pending grants
 // (used for drain-based termination and invariant tests).

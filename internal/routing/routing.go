@@ -90,3 +90,39 @@ func (e *Engine) Route(r, dstNode, class int) int {
 		panic(fmt.Sprintf("routing: unknown algorithm %d", int(e.algo)))
 	}
 }
+
+// RouteAvoid is the fault-aware variant of Route: it detours around dead
+// links with a fixed, deterministic preference order so every kernel makes
+// the same choice.
+//
+// Selection order:
+//
+//  1. the nominal DOR port, if it is an ejection port or its link is alive;
+//  2. the other dimension's DOR step toward the destination (the O1TURN
+//     alternative), if that port is wired and alive;
+//  3. the first wired, alive direction port in fixed E, W, N, S order
+//     (a deterministic misroute);
+//  4. the nominal port — every escape is dead, so the flit waits in place
+//     for the link to recover (faults are transient by validation).
+//
+// wired reports whether a direction port connects to a neighbor; dead
+// reports whether the port's link is currently unusable. Misrouting can
+// raise hop counts, so the network bounds livelock with a hop limit when a
+// fault schedule is configured.
+func (e *Engine) RouteAvoid(r, dstNode, class int, wired, dead func(out int) bool) int {
+	nominal := e.Route(r, dstNode, class)
+	if nominal >= 4 || !dead(nominal) {
+		return nominal
+	}
+	for dimClass := 0; dimClass < 2; dimClass++ {
+		if alt := e.topo.Route(r, dstNode, dimClass); alt != nominal && alt < 4 && wired(alt) && !dead(alt) {
+			return alt
+		}
+	}
+	for out := 0; out < 4; out++ {
+		if wired(out) && !dead(out) {
+			return out
+		}
+	}
+	return nominal
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -127,7 +128,7 @@ func TestCanonicalIdempotent(t *testing.T) {
 	if k1 != k2 {
 		t.Fatalf("canonicalization not idempotent: %s then %s", k1, k2)
 	}
-	if c1 != c2 {
+	if !reflect.DeepEqual(c1, c2) {
 		t.Fatalf("canonical form not a fixed point:\n%+v\n%+v", c1, c2)
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -19,6 +20,12 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"topology":"mesh99999999x99999999","scheme":"pseudo","workload":{"rate":0.1}}`))
 	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":1e308}}`))
 	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","measure":-5,"workload":{"rate":0.1}}`))
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+		"faults":{"events":[{"cycle":2000,"kind":"link-down","router":5},{"cycle":4000,"kind":"link-up","router":5}]}}`))
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":0.1},
+		"faults":{"drop":"reroute","events":[{"cycle":99,"kind":"router-down","router":70}]}}`))
+	f.Add([]byte(`{"topology":"mesh8x8","scheme":"pseudo","workload":{"rate":0.1},
+		"faults":{"events":[{"cycle":-1,"kind":"meltdown","router":0,"port":9}]}}`))
 	f.Add([]byte(`{"unknown":1}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
@@ -43,7 +50,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("canonical form rejected on re-canonicalization: %v", err)
 		}
-		if key2 != key || canon2 != canon {
+		// reflect.DeepEqual, not struct equality: Spec.Faults is a pointer,
+		// and idempotency is about content, not identity.
+		if key2 != key || !reflect.DeepEqual(canon2, canon) {
 			t.Fatalf("canonicalization not idempotent for %s:\nkey  %s vs %s\nform %+v vs %+v",
 				data, key, key2, canon, canon2)
 		}

@@ -80,6 +80,13 @@ type GlobalMetrics struct {
 	Traversals       uint64  `json:"traversals"`
 	Bypassed         uint64  `json:"bypassed"`
 	AvgLatency       float64 `json:"avg_latency"`
+
+	// Fault accounting; zero on fault-free runs.
+	FaultEvents       uint64 `json:"fault_events"`
+	PacketsDropped    uint64 `json:"packets_dropped"`
+	FlitsDropped      uint64 `json:"flits_dropped"`
+	PacketsRerouted   uint64 `json:"packets_rerouted"`
+	PCFaultTerminated uint64 `json:"pc_fault_terminated"`
 }
 
 // WriteMetricsJSONL writes the run's metrics as JSONL: router lines from reg
@@ -143,21 +150,26 @@ func WriteMetricsJSONL(w io.Writer, reg *Registry, series *Series, st *Network) 
 	}
 	if st != nil {
 		line := GlobalMetrics{
-			Type:             "global",
-			MeasuredFrom:     int64(st.MeasuredFrom),
-			MeasuredTo:       int64(st.MeasuredTo),
-			PacketsInjected:  st.PacketsInjected,
-			PacketsDelivered: st.PacketsDelivered,
-			FlitsDelivered:   st.FlitsDelivered,
-			SAGrants:         st.SAGrants,
-			PCCreated:        st.PCCreated,
-			PCReused:         st.PCReused,
-			PCTerminated:     st.PCTerminated,
-			PCSpeculated:     st.PCSpeculated,
-			SpecReused:       st.SpecReused,
-			Traversals:       st.Traversals,
-			Bypassed:         st.Bypassed,
-			AvgLatency:       st.AvgLatency(),
+			Type:              "global",
+			MeasuredFrom:      int64(st.MeasuredFrom),
+			MeasuredTo:        int64(st.MeasuredTo),
+			PacketsInjected:   st.PacketsInjected,
+			PacketsDelivered:  st.PacketsDelivered,
+			FlitsDelivered:    st.FlitsDelivered,
+			SAGrants:          st.SAGrants,
+			PCCreated:         st.PCCreated,
+			PCReused:          st.PCReused,
+			PCTerminated:      st.PCTerminated,
+			PCSpeculated:      st.PCSpeculated,
+			SpecReused:        st.SpecReused,
+			Traversals:        st.Traversals,
+			Bypassed:          st.Bypassed,
+			AvgLatency:        st.AvgLatency(),
+			FaultEvents:       st.FaultEvents,
+			PacketsDropped:    st.PacketsDropped,
+			FlitsDropped:      st.FlitsDropped,
+			PacketsRerouted:   st.PacketsRerouted,
+			PCFaultTerminated: st.PCFaultTerminated,
 		}
 		if err := enc.Encode(line); err != nil {
 			return err

@@ -50,6 +50,13 @@ type Network struct {
 	E2ESame  uint64 // packets whose (src,dst) repeats the source's previous packet
 	E2EPrev  uint64 // packets with a previous packet at the source
 
+	// Fault accounting (deterministic fault schedules).
+	FaultEvents       uint64 // schedule events applied (down and up)
+	PacketsDropped    uint64 // packets killed by a fault (purged everywhere)
+	FlitsDropped      uint64 // flits recycled by fault purges
+	PacketsRerouted   uint64 // packets salvaged in place under the reroute policy
+	PCFaultTerminated uint64 // pseudo-circuits torn down because their link died
+
 	// Warmup handling: events before Reset are discarded by reassigning the
 	// struct; this field records the measurement start for rate reporting.
 	MeasuredFrom sim.Cycle
@@ -99,6 +106,11 @@ func (n *Network) MergeCounters(src *Network) {
 	n.XbarPrev += src.XbarPrev
 	n.E2ESame += src.E2ESame
 	n.E2EPrev += src.E2EPrev
+	n.FaultEvents += src.FaultEvents
+	n.PacketsDropped += src.PacketsDropped
+	n.FlitsDropped += src.FlitsDropped
+	n.PacketsRerouted += src.PacketsRerouted
+	n.PCFaultTerminated += src.PCFaultTerminated
 	hist := src.LatencyHist
 	*src = Network{MeasuredFrom: src.MeasuredFrom, MeasuredTo: src.MeasuredTo}
 	src.LatencyHist = hist

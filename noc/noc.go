@@ -27,6 +27,7 @@ import (
 	"pseudocircuit/internal/cmp"
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/evc"
+	"pseudocircuit/internal/fault"
 	"pseudocircuit/internal/flit"
 	"pseudocircuit/internal/network"
 	"pseudocircuit/internal/obs"
@@ -148,6 +149,31 @@ type (
 	TraceEvent = obs.Event
 )
 
+// Fault injection re-exports. A FaultSchedule is a model parameter, not an
+// execution knob: it participates in canonical specs and result caching, and
+// faulted runs stay bit-identical across every kernel and worker count (the
+// determinism harness covers faulted configurations too).
+type (
+	// FaultSchedule declares cycle-stamped link/router down/up events applied
+	// deterministically during a run; see Experiment.Faults.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault transition.
+	FaultEvent = fault.Event
+	// FaultPolicy selects what happens to in-flight packets whose committed
+	// path crosses a failing link.
+	FaultPolicy = fault.Policy
+)
+
+// Fault event kinds and in-flight policies.
+const (
+	LinkDown     = fault.LinkDown
+	LinkUp       = fault.LinkUp
+	RouterDown   = fault.RouterDown
+	RouterUp     = fault.RouterUp
+	FaultDrop    = fault.Drop
+	FaultReroute = fault.Reroute
+)
+
 // Observe configures the observability layer of an Experiment. The zero
 // value disables everything; each probe is independent.
 type Observe struct {
@@ -200,6 +226,14 @@ type Experiment struct {
 	// every worker count, so it never participates in canonical specs or
 	// result caching. 0 or 1 runs sequentially.
 	Workers int
+	// Faults declares a deterministic fault schedule for the run: every event
+	// cycle is absolute (warmup cycles count), and the schedule must satisfy
+	// fault.Schedule.Validate on the experiment's topology — Build panics on
+	// structurally invalid schedules, while the Spec path rejects them with an
+	// error before anything is built. Nil or empty disables fault injection
+	// entirely (and hashes identically to an absent schedule in the service's
+	// canonical cache keys).
+	Faults *FaultSchedule
 	// Observe opts into the observability layer (per-router counters,
 	// windowed time series, lifecycle tracing). Zero value: all off.
 	Observe Observe
@@ -230,6 +264,13 @@ type Result struct {
 	PacketsDelivered uint64
 	FlitsDelivered   uint64
 	Cycles           int
+
+	// Fault accounting; zero on fault-free runs.
+	FaultEvents       uint64 // schedule events applied in the measured window
+	PacketsDropped    uint64 // packets killed by faults
+	FlitsDropped      uint64 // flits recycled by fault purges
+	PacketsRerouted   uint64 // packets salvaged under the reroute policy
+	PCFaultTerminated uint64 // pseudo-circuits torn down by faults
 }
 
 func (e Experiment) defaults() Experiment {
@@ -272,6 +313,7 @@ func (e Experiment) Build() *Network {
 		Seed:      e.Seed,
 		Pool:      e.Pool,
 		Naive:     e.NaiveKernel,
+		Faults:    e.Faults,
 	}
 	if e.Opts != nil {
 		cfg.Opts = *e.Opts
@@ -329,6 +371,24 @@ func (e Experiment) RunOn(n *Network, w Workload) Result {
 	n.ResetStats()
 	n.Run(w, e.Measure)
 	return collect(n, e.Measure)
+}
+
+// RunWindowsOn executes the warmup once on an already-built network, then
+// runs each window of cycles in sequence, resetting statistics between
+// windows and collecting one Result per window. Fault schedules use absolute
+// cycles, so a schedule's events land in whichever window contains them —
+// this is the measurement protocol behind the fault-window experiment
+// (pre/during/post segments around a scheduled fault).
+func (e Experiment) RunWindowsOn(n *Network, w Workload, windows []int) []Result {
+	e = e.defaults()
+	n.Run(w, e.Warmup)
+	out := make([]Result, len(windows))
+	for i, c := range windows {
+		n.ResetStats()
+		n.Run(w, c)
+		out[i] = collect(n, c)
+	}
+	return out
 }
 
 // RunOnObserved is RunOn with a callback invoked between chunks of at most
@@ -492,5 +552,11 @@ func collect(n *Network, cycles int) Result {
 		PacketsDelivered: s.PacketsDelivered,
 		FlitsDelivered:   s.FlitsDelivered,
 		Cycles:           cycles,
+
+		FaultEvents:       s.FaultEvents,
+		PacketsDropped:    s.PacketsDropped,
+		FlitsDropped:      s.FlitsDropped,
+		PacketsRerouted:   s.PacketsRerouted,
+		PCFaultTerminated: s.PCFaultTerminated,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pseudocircuit/internal/fault"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/topology"
 	"pseudocircuit/internal/vcalloc"
@@ -36,6 +37,66 @@ type Spec struct {
 	// knob with no effect on results, so SpecOf never emits it and the
 	// service strips it from canonical cache keys.
 	Workers int `json:"workers,omitempty"`
+	// Faults declares a deterministic fault schedule. Unlike Workers it is a
+	// model parameter: SpecOf renders it canonically (sorted events, defaults
+	// elided), so it participates in cache keys.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the serializable form of a fault schedule.
+type FaultSpec struct {
+	// Drop selects the in-flight packet policy: "drop" (default) or
+	// "reroute".
+	Drop string `json:"drop,omitempty"`
+	// Events are the schedule's transitions, in any order; the schedule is
+	// canonicalized (sorted, validated) when the spec is materialized.
+	Events []FaultEventSpec `json:"events"`
+}
+
+// FaultEventSpec is one fault transition. Cycles are absolute simulation
+// cycles (warmup counts) and must fall inside the run, every down needs a
+// matching later up, and link ports are the direction ports 0..3 (E, W, N,
+// S) that are wired on the grid.
+type FaultEventSpec struct {
+	Cycle  int64  `json:"cycle"`
+	Kind   string `json:"kind"` // "link-down", "link-up", "router-down", "router-up"
+	Router int    `json:"router"`
+	Port   int    `json:"port,omitempty"`
+}
+
+// Schedule converts and validates the fault spec against an experiment's
+// topology and run length (warmup + measure, after defaults): event names are
+// resolved case-insensitively and the schedule must satisfy its structural
+// invariants (see FaultEventSpec). A nil or empty spec yields a nil schedule.
+// The experiment's Faults field is ignored; callers assign the returned
+// schedule themselves.
+func (fs *FaultSpec) Schedule(e Experiment) (*FaultSchedule, error) {
+	if fs == nil || len(fs.Events) == 0 {
+		return nil, nil
+	}
+	pol, ok := fault.PolicyByName(strings.ToLower(fs.Drop))
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown fault drop policy %q", fs.Drop)
+	}
+	sched := &FaultSchedule{Policy: pol}
+	for _, ev := range fs.Events {
+		k, ok := fault.KindByName(strings.ToLower(ev.Kind))
+		if !ok {
+			return nil, fmt.Errorf("noc: unknown fault event kind %q", ev.Kind)
+		}
+		sched.Events = append(sched.Events, FaultEvent{
+			Cycle: ev.Cycle, Kind: k, Router: ev.Router, Port: ev.Port,
+		})
+	}
+	ft, ok := e.Topology.(fault.Topo)
+	if !ok {
+		return nil, fmt.Errorf("noc: topology %q does not support fault schedules", e.Topology.Name())
+	}
+	d := e.defaults()
+	if err := sched.Validate(ft, int64(d.Warmup+d.Measure)); err != nil {
+		return nil, err
+	}
+	return sched, nil
 }
 
 // WorkloadSpec is the serializable form of a workload, the counterpart of
@@ -220,6 +281,9 @@ func (s Spec) Experiment() (Experiment, error) {
 	e.Warmup = s.Warmup
 	e.Measure = s.Measure
 	e.Workers = s.Workers
+	if e.Faults, err = s.Faults.Schedule(e); err != nil {
+		return e, err
+	}
 	return e, nil
 }
 
@@ -251,7 +315,26 @@ func SpecOf(e Experiment) Spec {
 	}
 	// Workers is deliberately not rendered: worker count never changes
 	// results, so canonical specs (and the cache keys derived from them)
-	// must not vary with it.
+	// must not vary with it. Faults, by contrast, do change results, so they
+	// are rendered — canonically: events sorted, the default drop policy and
+	// empty schedules elided — and therefore reach the cache key.
+	if e.Faults != nil && len(e.Faults.Events) > 0 {
+		sched := FaultSchedule{
+			Policy: e.Faults.Policy,
+			Events: append([]FaultEvent(nil), e.Faults.Events...),
+		}
+		sched.Canon()
+		fs := &FaultSpec{Events: make([]FaultEventSpec, len(sched.Events))}
+		if sched.Policy != fault.Drop {
+			fs.Drop = sched.Policy.String()
+		}
+		for i, ev := range sched.Events {
+			fs.Events[i] = FaultEventSpec{
+				Cycle: ev.Cycle, Kind: ev.Kind.String(), Router: ev.Router, Port: ev.Port,
+			}
+		}
+		s.Faults = fs
+	}
 	return s
 }
 
