@@ -1,0 +1,146 @@
+// Command benchcheck measures the cycle kernel's ns/cycle at the Fig. 12
+// operating point (8×8 mesh, Pseudo+S+B, loaded uniform-random traffic) for
+// the sequential and the parallel kernel, and gates performance regressions
+// against a checked-in snapshot:
+//
+//	benchcheck -write BENCH_7.json               # refresh the snapshot
+//	benchcheck -against BENCH_7.json             # fail on >15% regression
+//	benchcheck -against BENCH_7.json -tolerance 0.25
+//
+// Each configuration is measured several times and the minimum is compared —
+// the minimum is the least noisy estimator of the true cost on a shared
+// machine (everything above it is scheduling interference). Speedups are
+// never an error; the snapshot should then be refreshed with -write so the
+// gate tightens.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pseudocircuit/noc"
+)
+
+// Snapshot is the checked-in benchmark baseline. Host metadata records where
+// the numbers came from: comparisons across different hardware measure the
+// hardware, not the code.
+type Snapshot struct {
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"numCPU"`
+	NsPerCycle map[string]float64 `json:"nsPerCycle"`
+}
+
+const repeats = 3
+
+func main() {
+	var (
+		write     = flag.String("write", "", "measure and write the snapshot to this path")
+		against   = flag.String("against", "", "measure and compare to the snapshot at this path")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional slowdown before failing")
+	)
+	flag.Parse()
+	if (*write == "") == (*against == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write or -against is required")
+		os.Exit(2)
+	}
+
+	cur := Snapshot{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		NsPerCycle: map[string]float64{
+			"fig12/sequential": measure(0),
+			"fig12/parallel":   measure(runtime.GOMAXPROCS(0)),
+		},
+	}
+	for _, k := range keys(cur) {
+		fmt.Printf("%-18s %10.1f ns/cycle\n", k, cur.NsPerCycle[k])
+	}
+
+	if *write != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal("encoding snapshot: %v", err)
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *write)
+		return
+	}
+
+	data, err := os.ReadFile(*against)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parsing %s: %v", *against, err)
+	}
+	if base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH || base.NumCPU != cur.NumCPU {
+		fmt.Printf("note: snapshot host %s/%s %d-cpu differs from this host %s/%s %d-cpu; the comparison partly measures hardware\n",
+			base.GOOS, base.GOARCH, base.NumCPU, cur.GOOS, cur.GOARCH, cur.NumCPU)
+	}
+	failed := false
+	for _, k := range keys(cur) {
+		want, ok := base.NsPerCycle[k]
+		if !ok || want <= 0 {
+			fmt.Printf("%-18s no baseline; skipped\n", k)
+			continue
+		}
+		ratio := cur.NsPerCycle[k] / want
+		verdict := "ok"
+		if ratio > 1+*tolerance {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-18s baseline %10.1f  now %10.1f  ratio %.2f  %s\n",
+			k, want, cur.NsPerCycle[k], ratio, verdict)
+	}
+	if failed {
+		fatal("kernel slowed down more than %.0f%% against %s", 100**tolerance, *against)
+	}
+}
+
+// measure returns the minimum ns/cycle over repeats runs of the Fig. 12
+// kernel benchmark (mirrors BenchmarkFig12Sequential/Parallel in
+// bench_test.go: warm the pools to the zero-alloc steady state, then time
+// n.Run for b.N cycles).
+func measure(workers int) float64 {
+	best := 0.0
+	for i := 0; i < repeats; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			exp := noc.Experiment{
+				Topology: noc.Mesh(8, 8),
+				Scheme:   noc.PseudoSB,
+				Routing:  noc.XY,
+				Policy:   noc.StaticVA,
+				Workers:  workers,
+				Warmup:   100,
+				Measure:  1,
+			}
+			n := exp.Build()
+			w := exp.SyntheticWorkload(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.18})
+			n.Run(w, 2000)
+			b.ResetTimer()
+			n.Run(w, b.N)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func keys(s Snapshot) []string { return []string{"fig12/sequential", "fig12/parallel"} }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -45,6 +45,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "cycle-kernel worker goroutines per cycle (0/1 sequential); any value gives bit-identical results")
 		useEVC    = flag.Bool("evc", false, "use the Express-Virtual-Channel comparison router (scheme must be baseline)")
 		faults    = flag.String("faults", "", `fault schedule as inline JSON or @file, e.g. '{"events":[{"cycle":2000,"kind":"link-down","router":5},{"cycle":4000,"kind":"link-up","router":5}]}' (overrides the config file's schedule)`)
+		churn     = flag.String("churn", "", `stochastic fault churn as inline JSON or @file, e.g. '{"seed":7,"linkFail":1e-5,"linkRepair":0.002}' (mutually exclusive with -faults)`)
+		reliable  = flag.String("reliable", "", `end-to-end reliable delivery: "default" or inline JSON like '{"timeout":256,"maxTimeout":2048,"budget":8}'`)
 		config    = flag.String("config", "", "JSON experiment spec file (overrides the individual flags)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		links     = flag.Int("links", 0, "also print the N most-loaded channels")
@@ -122,6 +124,38 @@ func main() {
 		exp.Faults = sched
 	}
 
+	if *churn != "" {
+		data := []byte(*churn)
+		if strings.HasPrefix(*churn, "@") {
+			var err error
+			if data, err = os.ReadFile((*churn)[1:]); err != nil {
+				fatal("reading churn spec: %v", err)
+			}
+		}
+		var cs noc.ChurnSpec
+		if err := json.Unmarshal(data, &cs); err != nil {
+			fatal("parsing churn spec: %v", err)
+		}
+		c, err := cs.Churn(exp)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if exp.Faults != nil {
+			fatal("-faults and -churn are mutually exclusive")
+		}
+		exp.Churn = c
+	}
+
+	if *reliable != "" {
+		var rs noc.ReliableSpec
+		if *reliable != "default" {
+			if err := json.Unmarshal([]byte(*reliable), &rs); err != nil {
+				fatal("parsing reliable spec: %v", err)
+			}
+		}
+		exp.Reliable = &noc.Reliability{Timeout: rs.Timeout, MaxTimeout: rs.MaxTimeout, Budget: rs.Budget}
+	}
+
 	if *metricsOut != "" || *pprofAddr != "" {
 		exp.Observe.PerRouter = true
 		exp.Observe.Window = *window
@@ -187,9 +221,13 @@ func main() {
 	fmt.Printf("router energy       %.1f nJ (buffer %.1f%%, crossbar %.1f%%, arbiter %.1f%%)\n",
 		res.EnergyPJ/1000,
 		100*res.BufferPJ/res.EnergyPJ, 100*res.CrossbarPJ/res.EnergyPJ, 100*res.ArbiterPJ/res.EnergyPJ)
-	if exp.Faults != nil {
+	if exp.Faults != nil || exp.Churn != nil {
 		fmt.Printf("faults              %d events, %d packets dropped (%d flits), %d rerouted, %d circuits torn\n",
 			res.FaultEvents, res.PacketsDropped, res.FlitsDropped, res.PacketsRerouted, res.PCFaultTerminated)
+	}
+	if exp.Reliable != nil {
+		fmt.Printf("reliability         %d retransmitted, %d acks sent (%d received), %d duplicates dropped, %d failed\n",
+			res.PacketsRetransmitted, res.AcksSent, res.AcksReceived, res.DuplicatesDropped, res.DeliveryFailed)
 	}
 	if *links > 0 {
 		fmt.Printf("\nmost-loaded channels:\n")

@@ -27,7 +27,7 @@ type tabler interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, ablations, heatmap, faults, fault-heatmap, ext-system, ext-load, ext-depth, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, ablations, heatmap, faults, fault-heatmap, churn, ext-system, ext-load, ext-depth, all")
 		warmup   = flag.Int("warmup", 1000, "warmup cycles")
 		measure  = flag.Int("measure", 10000, "measured cycles")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
@@ -70,12 +70,13 @@ func main() {
 		"heatmap":       func() tabler { return experiments.RouterHeatmap(o) },
 		"faults":        func() tabler { return experiments.FaultWindow(o) },
 		"fault-heatmap": func() tabler { return experiments.FaultHeatmap(o) },
+		"churn":         func() tabler { return experiments.Churn(o) },
 		"ext-system":    func() tabler { return experiments.SystemImpact(o) },
 		"ext-load":      func() tabler { return experiments.ReuseVsLoad(o) },
 		"ext-depth":     func() tabler { return experiments.SpecDepth(o) },
 	}
 
-	order := []string{"table1", "table2", "fig1", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "ablations", "heatmap", "faults", "fault-heatmap", "ext-system", "ext-load", "ext-depth"}
+	order := []string{"table1", "table2", "fig1", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "ablations", "heatmap", "faults", "fault-heatmap", "churn", "ext-system", "ext-load", "ext-depth"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

@@ -147,6 +147,11 @@ type Workload struct {
 	missLatencySum uint64
 	missCompleted  uint64
 	cycles         uint64
+
+	// failures counts delivery failures the reliability layer reported
+	// (abandoned packets, unwound in DeliveryFailed). Zero without
+	// Config.Reliable.
+	failures uint64
 }
 
 // New builds the CMP workload for profile prof on topology t using the
@@ -460,6 +465,59 @@ func (w *Workload) coreReceive(now sim.Cycle, c *core, m msg) {
 		panic(fmt.Sprintf("cmp: core %d received unexpected %d", c.id, m.kind))
 	}
 }
+
+// DeliveryFailed implements network.FailureObserver: the reliability layer
+// exhausted a packet's retry budget, so the protocol message in meta will
+// never arrive. The transaction waiting on it is unwound so the workload
+// drains instead of wedging — a failed request or response releases the
+// requester's MSHR (without a miss-latency sample: the miss did not
+// complete), and a failed invalidation leg is treated as acknowledged so the
+// bank's write transaction can finish.
+func (w *Workload) DeliveryFailed(now sim.Cycle, src, dst int, class flit.Class, meta any) {
+	m, ok := meta.(msg)
+	if !ok {
+		panic("cmp: foreign packet reported failed to CMP workload")
+	}
+	w.failures++
+	switch m.kind {
+	case msgReadReq, msgWriteReq, msgData, msgWriteAck:
+		// The miss can no longer complete: either the request never reached
+		// the bank or the response never reached the core. Release the
+		// requester's MSHR either way.
+		c := w.cores[m.core]
+		c.outstanding--
+		if c.outstanding < 0 {
+			panic(fmt.Sprintf("cmp: core %d MSHR underflow on delivery failure", c.id))
+		}
+		c.inflight = c.inflight[:copy(c.inflight, c.inflight[1:])]
+	case msgInv, msgInvAck:
+		// One invalidation leg is gone (the sharer will never see the Inv, or
+		// the bank will never see the Ack) — count it as acknowledged. Unlike
+		// bankReceive, tolerate a missing transaction: a lost Inv whose write
+		// already completed through the other sharers cannot happen (each
+		// sharer is decremented exactly once), but a failed request that never
+		// created the transaction leaves nothing to unwind.
+		b := w.banks[w.layout.HomeBank(m.block)]
+		key := txnKey{block: m.block, writer: m.writer}
+		if t := b.txns[key]; t != nil {
+			t.pending--
+			if t.pending == 0 {
+				delete(b.txns, key)
+				for i := 0; i < t.writes; i++ {
+					w.respondWrite(now+1, b, t.core, t.block)
+				}
+			}
+		}
+	case msgWriteBack:
+		// Posted: nothing waits on it.
+	default:
+		panic(fmt.Sprintf("cmp: delivery failure for unexpected %d", m.kind))
+	}
+}
+
+// DeliveryFailures returns the number of abandoned packets the reliability
+// layer reported (diagnostics; zero when reliable delivery is off).
+func (w *Workload) DeliveryFailures() uint64 { return w.failures }
 
 // Done implements network.Workload: true when a miss cap is set, reached,
 // and all transactions have completed.

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/vcalloc"
+	"pseudocircuit/noc"
+)
+
+// churnLevel is one intensity point of the churn figure: per-cycle Markov
+// transition probabilities for links and routers.
+type churnLevel struct {
+	label                string
+	linkFail, linkRepair float64
+	rtrFail, rtrRepair   float64
+}
+
+// churnLevels are the figure's x-axis. Mean downtime is 1/repair cycles; the
+// levels are calibrated so "low" perturbs a few links briefly, "med" keeps a
+// couple of links down most of the time, and "high" adds occasional
+// whole-router outages — degraded but not collapsed at the figure's 0.05
+// load point.
+var churnLevels = []churnLevel{
+	{label: "none"},
+	{label: "low", linkFail: 2e-6, linkRepair: 0.02},
+	{label: "med", linkFail: 1e-5, linkRepair: 0.01},
+	{label: "high", linkFail: 2e-5, linkRepair: 0.005, rtrFail: 1e-6, rtrRepair: 0.005},
+}
+
+// churnConfigs are the compared router architectures.
+var churnConfigs = []struct {
+	label  string
+	scheme core.Scheme
+	evc    bool
+}{
+	{label: "Pseudo+S+B", scheme: core.PseudoSB},
+	{label: "Pseudo", scheme: core.Pseudo},
+	{label: "EVC", scheme: core.Baseline, evc: true},
+}
+
+// ChurnResult holds the churn figure: delivered latency, throughput, energy
+// per delivered flit, and the reliability layer's recovery work (retransmits,
+// duplicates, abandoned packets) as seeded stochastic fault churn rises, per
+// scheme. All slices are indexed [config][level].
+type ChurnResult struct {
+	Configs []string
+	Levels  []string
+	// Network metrics over delivered traffic.
+	Latency     [][]float64
+	Throughput  [][]float64
+	EnergyPerFl [][]float64 // pJ per delivered flit: the reliability overhead shows up here
+	// Fault exposure and recovery work.
+	Events        [][]uint64
+	Dropped       [][]uint64
+	Retransmitted [][]uint64
+	Duplicates    [][]uint64
+	Failed        [][]uint64
+}
+
+// Churn measures end-to-end reliable delivery under rising fault churn on the
+// paper's standard 8×8 mesh (XY, static VA, uniform random at a low 0.05
+// load so fault damage is visible rather than drowned in congestion).
+// Reliability runs with its default timeout/budget; the reroute salvage
+// policy gives every scheme its best fault response. Each (config, level)
+// cell is an independent run with the same traffic seed — only the churn
+// varies, so columns are directly comparable.
+func Churn(o Options) ChurnResult {
+	o = o.defaults()
+	const rate = 0.05
+
+	res := ChurnResult{}
+	for _, c := range churnConfigs {
+		res.Configs = append(res.Configs, c.label)
+	}
+	for _, l := range churnLevels {
+		res.Levels = append(res.Levels, l.label)
+	}
+	nc, nl := len(churnConfigs), len(churnLevels)
+	mkF := func() [][]float64 {
+		m := make([][]float64, nc)
+		for i := range m {
+			m[i] = make([]float64, nl)
+		}
+		return m
+	}
+	mkU := func() [][]uint64 {
+		m := make([][]uint64, nc)
+		for i := range m {
+			m[i] = make([]uint64, nl)
+		}
+		return m
+	}
+	res.Latency, res.Throughput, res.EnergyPerFl = mkF(), mkF(), mkF()
+	res.Events, res.Dropped, res.Retransmitted, res.Duplicates, res.Failed = mkU(), mkU(), mkU(), mkU(), mkU()
+
+	tick := o.progress(nc * nl)
+	forEach(nc*nl, func(idx int, pool *noc.Pool) {
+		ci, li := idx/nl, idx%nl
+		c, l := churnConfigs[ci], churnLevels[li]
+		e := noc.Experiment{
+			Topology: topology.NewMesh(8, 8),
+			Scheme:   c.scheme,
+			Routing:  routing.XY,
+			Policy:   vcalloc.Static,
+			Seed:     o.Seed,
+			Pool:     pool,
+			UseEVC:   c.evc,
+			Warmup:   o.Warmup,
+			Measure:  o.Measure,
+			Workers:  o.Workers,
+			Reliable: &noc.Reliability{},
+		}
+		if l.linkFail > 0 || l.rtrFail > 0 {
+			e.Churn = &noc.FaultChurn{
+				Seed:         o.Seed + uint64(li), // same process per level across configs
+				LinkFail:     l.linkFail,
+				LinkRepair:   l.linkRepair,
+				RouterFail:   l.rtrFail,
+				RouterRepair: l.rtrRepair,
+				Policy:       noc.FaultReroute,
+			}
+		}
+		r := e.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: rate, PacketSize: 5})
+		res.Latency[ci][li] = r.AvgLatency
+		res.Throughput[ci][li] = r.Throughput
+		if r.FlitsDelivered > 0 {
+			res.EnergyPerFl[ci][li] = r.EnergyPJ / float64(r.FlitsDelivered)
+		}
+		res.Events[ci][li] = r.FaultEvents
+		res.Dropped[ci][li] = r.PacketsDropped
+		res.Retransmitted[ci][li] = r.PacketsRetransmitted
+		res.Duplicates[ci][li] = r.DuplicatesDropped
+		res.Failed[ci][li] = r.DeliveryFailed
+		tick()
+	})
+	return res
+}
+
+// Tables renders one row per (config, churn level).
+func (r ChurnResult) Tables() []Table {
+	t := Table{
+		ID:     "churn",
+		Title:  "Reliable delivery under fault churn (8x8 mesh, XY, static VA, UR 0.05, reroute policy, default reliability)",
+		Header: []string{"config", "churn", "latency", "thr (f/n/c)", "pJ/flit", "events", "dropped", "retransmitted", "dups", "failed"},
+	}
+	for i, cfg := range r.Configs {
+		for s, lvl := range r.Levels {
+			t.Rows = append(t.Rows, []string{
+				cfg, lvl,
+				num(r.Latency[i][s]),
+				fmt.Sprintf("%.3f", r.Throughput[i][s]),
+				fmt.Sprintf("%.2f", r.EnergyPerFl[i][s]),
+				fmt.Sprintf("%d", r.Events[i][s]),
+				fmt.Sprintf("%d", r.Dropped[i][s]),
+				fmt.Sprintf("%d", r.Retransmitted[i][s]),
+				fmt.Sprintf("%d", r.Duplicates[i][s]),
+				fmt.Sprintf("%d", r.Failed[i][s]),
+			})
+		}
+	}
+	return []Table{t}
+}

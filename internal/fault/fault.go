@@ -105,6 +105,14 @@ func PolicyByName(s string) (Policy, bool) {
 type Schedule struct {
 	Policy Policy
 	Events []Event
+	// AllowOpen permits schedules whose final event for a target is a down
+	// with no later up: the target stays down forever (a permanent fault).
+	// Spec-declared schedules keep the closed-schedule guarantee; expanded
+	// churn processes set AllowOpen because a chain may still be down when
+	// the horizon ends. The kernel distinguishes permanent from transient
+	// downs (State.AnyTransientDown) so its termination watchdogs keep
+	// working under open schedules.
+	AllowOpen bool
 }
 
 // MaxEvents bounds schedule size at the service boundary.
@@ -209,8 +217,8 @@ func NeighborTable(t Topo) []int {
 //   - per target, events strictly alternate down → up → down … starting
 //     with down, at strictly increasing cycles (no duplicates, no same-cycle
 //     down+up pair)
-//   - every down is matched by a later up, so no fault is permanent and
-//     Drain is guaranteed to terminate
+//   - unless AllowOpen is set, every down is matched by a later up, so no
+//     fault is permanent and Drain is guaranteed to terminate
 //   - at most MaxEvents events
 //
 // The empty schedule is valid and equivalent to no schedule at all.
@@ -266,9 +274,11 @@ func (s *Schedule) Validate(t Topo, horizon int64) error {
 			open[tg] = phase{down: false, cycle: e.Cycle}
 		}
 	}
-	for tg, p := range open {
-		if p.down {
-			return fmt.Errorf("fault: router %d port %d is taken down at cycle %d and never restored", tg.router, tg.port, p.cycle)
+	if !s.AllowOpen {
+		for tg, p := range open {
+			if p.down {
+				return fmt.Errorf("fault: router %d port %d is taken down at cycle %d and never restored", tg.router, tg.port, p.cycle)
+			}
 		}
 	}
 	return nil
@@ -289,6 +299,16 @@ type State struct {
 	// out, or -1 when the port is unwired. A link is dead when either its
 	// own down flag is set or either endpoint router is down.
 	nbr []int
+	// remLink/remRouter count the schedule events not yet applied for each
+	// target. A down whose target has no remaining events is permanent (an
+	// AllowOpen schedule left it open); every other down is transient. The
+	// split keeps the kernel's termination machinery honest: watchdogs pause
+	// only while a transient fault is pending recovery, and permanently dead
+	// routers can be drained instead of waited on.
+	remLink        []int
+	remRouter      []int
+	transientDowns int
+	permDowns      int
 }
 
 // NewState builds runtime state for a validated schedule over a mesh-like
@@ -297,13 +317,23 @@ func NewState(s Schedule, routers int, nbr []int) *State {
 	if len(nbr) != routers*4 {
 		panic(fmt.Sprintf("fault: neighbor table length %d != %d routers * 4", len(nbr), routers))
 	}
-	return &State{
+	st := &State{
 		policy:     s.Policy,
 		events:     s.Events,
 		linkDown:   make([]bool, routers*4),
 		routerDown: make([]bool, routers),
 		nbr:        nbr,
+		remLink:    make([]int, routers*4),
+		remRouter:  make([]int, routers),
 	}
+	for _, e := range s.Events {
+		if e.Kind.IsLink() {
+			st.remLink[e.Router*4+e.Port]++
+		} else {
+			st.remRouter[e.Router]++
+		}
+	}
+	return st
 }
 
 // Policy returns the schedule's drop policy.
@@ -327,31 +357,47 @@ func (st *State) Take(now int64) []Event {
 func (st *State) Pending() bool { return st.next < len(st.events) }
 
 // AnyDown reports whether any link or router is currently down.
-func (st *State) AnyDown() bool {
-	for _, d := range st.routerDown {
-		if d {
-			return true
-		}
-	}
-	for _, d := range st.linkDown {
-		if d {
-			return true
-		}
-	}
-	return false
-}
+func (st *State) AnyDown() bool { return st.transientDowns+st.permDowns > 0 }
 
-// Apply folds one event into the state.
+// AnyTransientDown reports whether any link or router is down with a
+// restoring up event still pending. Permanent downs (open AllowOpen
+// schedules) are excluded: nothing is coming back, so termination machinery
+// — the standstill watchdog and stale sweep — must keep running rather than
+// wait out a recovery that never happens. On closed schedules this is
+// identical to AnyDown.
+func (st *State) AnyTransientDown() bool { return st.transientDowns > 0 }
+
+// Apply folds one event into the state. Events must be applied in schedule
+// order (the Take cursor guarantees this); permanence bookkeeping counts the
+// events remaining per target, so a down with none remaining is permanent.
 func (st *State) Apply(e Event) {
 	switch e.Kind {
 	case LinkDown:
-		st.linkDown[e.Router*4+e.Port] = true
+		i := e.Router*4 + e.Port
+		st.linkDown[i] = true
+		st.remLink[i]--
+		if st.remLink[i] == 0 {
+			st.permDowns++
+		} else {
+			st.transientDowns++
+		}
 	case LinkUp:
-		st.linkDown[e.Router*4+e.Port] = false
+		i := e.Router*4 + e.Port
+		st.linkDown[i] = false
+		st.remLink[i]--
+		st.transientDowns--
 	case RouterDown:
 		st.routerDown[e.Router] = true
+		st.remRouter[e.Router]--
+		if st.remRouter[e.Router] == 0 {
+			st.permDowns++
+		} else {
+			st.transientDowns++
+		}
 	case RouterUp:
 		st.routerDown[e.Router] = false
+		st.remRouter[e.Router]--
+		st.transientDowns--
 	}
 }
 
@@ -377,3 +423,11 @@ func (st *State) LinkDead(r, out int) bool {
 
 // RouterDead reports whether router r is currently down.
 func (st *State) RouterDead(r int) bool { return st.routerDown[r] }
+
+// RouterPermanentlyDown reports whether router r is down with no restoring
+// event left in the schedule: it will never come back. Packets sourced at a
+// permanently dead router can be dropped instead of held, which is what lets
+// open-schedule runs drain.
+func (st *State) RouterPermanentlyDown(r int) bool {
+	return st.routerDown[r] && st.remRouter[r] == 0
+}

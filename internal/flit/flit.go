@@ -62,6 +62,9 @@ const (
 	ClassCoherence
 	// ClassData is generic synthetic-workload data.
 	ClassData
+	// ClassAck is a reliability-layer acknowledgement (single flit, sent by
+	// the receiver NI back to the packet's source; never itself acked).
+	ClassAck
 )
 
 func (c Class) String() string {
@@ -74,6 +77,8 @@ func (c Class) String() string {
 		return "coh"
 	case ClassData:
 		return "data"
+	case ClassAck:
+		return "ack"
 	default:
 		return "?"
 	}
@@ -94,6 +99,16 @@ type Packet struct {
 	// Meta carries workload-level payload (e.g. the CMP substrate's
 	// coherence message); the network never inspects it.
 	Meta any
+
+	// RelSeq is the reliability layer's per-flow (src,dst) sequence number,
+	// 1-based; zero means the packet is unsequenced (reliability off, or an
+	// unreliable class). Retransmissions of a packet carry the same RelSeq,
+	// which is what lets the receiver NI deduplicate them.
+	RelSeq uint64
+
+	// RelAck marks reliability acknowledgements: RelSeq then names the
+	// sequence number being acknowledged and Dst the flow's original sender.
+	RelAck bool
 
 	// Dropped marks packets killed by a fault (dead link or router). It
 	// guards against double-kill when several fault sweeps reach the same

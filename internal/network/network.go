@@ -142,6 +142,13 @@ type Config struct {
 	// topology; nil or empty behaves exactly like no schedule at all.
 	Faults *fault.Schedule
 
+	// Reliable enables NI-level end-to-end reliable delivery: per-flow
+	// sequence numbers, receiver acks and dedup, sender retransmission with
+	// capped exponential backoff and a bounded retry budget (DESIGN.md §14).
+	// nil (the default) disables the layer entirely — no sequence numbers,
+	// no acks, no per-NI reliability state.
+	Reliable *Reliability
+
 	// Observability probes, all opt-in and observation-only: enabling any of
 	// them cannot change simulation results, and leaving them nil (the
 	// default) costs one predictable branch per probe site and zero
@@ -185,6 +192,12 @@ type delivery struct {
 	// Credit target (when flit == nil): router out-port VC, or NI when
 	// router == -1 (port = node, vc meaningful).
 	vc int
+}
+
+// credRet is a router-bound credit return deferred until purgePacket's ring
+// sweep has finished rebuilding every slot (see purgePacket).
+type credRet struct {
+	router, out, vc int
 }
 
 // pending is a shard-buffered schedule call: a delivery plus the link
@@ -283,6 +296,7 @@ type Network struct {
 	deadFn   []func(out int) bool
 	hopLimit int
 	victims  []*flit.Packet
+	credRet  []credRet
 	// Wedge watchdog (active only with a schedule): fault detours are not
 	// covered by XY's turn restrictions, so a storm can leave packets in a
 	// buffer-dependency cycle that never moves again — invisible to the hop
@@ -306,6 +320,12 @@ type Network struct {
 	// same residence budget a fresh one gets.
 	staleLimit sim.Cycle
 	staleHold  sim.Cycle
+
+	// Reliability layer (nil when off): the resolved configuration and the
+	// count of outstanding sender records across all NIs — packets neither
+	// acknowledged nor abandoned yet, which Drain must wait out.
+	rel        *Reliability
+	relPending int
 
 	// Parallel kernel state (nil/zero when Opts.Workers <= 1): the shards,
 	// the shared completion channel, whether worker goroutines are live
@@ -358,6 +378,10 @@ func New(cfg Config) *Network {
 		series:   cfg.Series,
 		tracer:   cfg.Tracer,
 	}
+	if cfg.Reliable != nil {
+		rel := cfg.Reliable.withDefaults()
+		n.rel = &rel
+	}
 
 	// Ring sized for the largest link latency plus slack.
 	maxLat := 1
@@ -386,8 +410,9 @@ func New(cfg Config) *Network {
 			panic(fmt.Sprintf("network: fault schedules are not supported on %T", t))
 		}
 		sched := fault.Schedule{
-			Policy: cfg.Faults.Policy,
-			Events: append([]fault.Event(nil), cfg.Faults.Events...),
+			Policy:    cfg.Faults.Policy,
+			AllowOpen: cfg.Faults.AllowOpen,
+			Events:    append([]fault.Event(nil), cfg.Faults.Events...),
 		}
 		if err := sched.Validate(ft, 1<<62); err != nil {
 			panic(fmt.Sprintf("network: invalid fault schedule: %v", err))
@@ -573,10 +598,24 @@ func (n *Network) Inject(p *flit.Packet) {
 	p.ID = n.nextID
 	n.nextID++
 	p.Injected = n.now
-	if n.faults != nil && n.faults.RouterDead(n.home[p.Dst]) {
-		// The destination's home router is down: the packet can never be
-		// delivered, so it is accounted and dropped at the source instead of
-		// wedging a queue behind an unreachable destination.
+	// Reliability: first sends of workload packets get a per-flow sequence
+	// number and a sender retransmit record before any drop decision — if
+	// the packet is dropped at the source below, the retransmit timer is
+	// what retries it (and the retry budget is what eventually gives up).
+	// Retransmissions (RelSeq already set) reuse their existing record;
+	// acks are never sequenced or tracked.
+	if n.rel != nil && !p.RelAck && p.RelSeq == 0 {
+		s := n.nis[p.Src]
+		s.relNext[p.Dst]++
+		p.RelSeq = s.relNext[p.Dst]
+		s.trackTx(p)
+	}
+	if n.faults != nil && (n.faults.RouterDead(n.home[p.Dst]) || n.faults.RouterPermanentlyDown(n.home[p.Src])) {
+		// The destination's home router is down, or the source's own router
+		// is permanently dead: the packet can never be delivered, so it is
+		// accounted and dropped at the source instead of wedging a queue
+		// behind an unreachable destination (or behind a router that will
+		// never inject again).
 		n.Stats.PacketsInjected++
 		n.Stats.PacketsDropped++
 		if tr := n.tracer; tr != nil {
@@ -592,6 +631,7 @@ func (n *Network) Inject(p *flit.Packet) {
 	n.nis[p.Src].enqueue(p)
 	n.inFlight++
 	n.Stats.PacketsInjected++
+	n.relInflightDelta(p, 1, false)
 }
 
 // routerConfig returns the router.Config router r must be constructed
@@ -684,11 +724,22 @@ func (n *Network) Step(w Workload) {
 	if n.faults != nil {
 		n.applyFaults()
 		n.watchdog()
-		if n.faults.AnyDown() {
+		// Only a transient down holds the stale sweep: waiting out a
+		// permanent fault would hold it forever, and traffic stranded by one
+		// is exactly what the sweep must clear for the run to drain. On
+		// closed schedules AnyTransientDown == AnyDown, bit-identically.
+		if n.faults.AnyTransientDown() {
 			n.staleHold = n.now
 		} else if int(n.now)&(staleScanEvery-1) == 0 {
 			n.staleScan()
 		}
+	}
+	// Retransmit timers fire after fault state settles and before any
+	// delivery or injection work, on the main goroutine in both kernels:
+	// re-injected packets join their source queues for this cycle's
+	// injection phase, wherever it runs.
+	if n.rel != nil {
+		n.relTick(w)
 	}
 	if n.shards != nil {
 		n.stepSharded(w)
@@ -992,8 +1043,10 @@ func (n *Network) applyFaults() {
 // of the cycle can release. Such a wedge makes no progress at all, so the
 // hop limit (which fires on delivery) never sees it. The watchdog watches
 // global movement counters from the main phase: stallLimit consecutive
-// cycles with flits in flight, no fault currently down (while one is down,
-// parking in front of it is legitimate waiting) and not a single buffer
+// cycles with flits in flight, no transient fault currently down (while one
+// is down, parking in front of it is legitimate waiting; a permanent fault
+// will never release anyone, so it does not pause the watchdog) and not a
+// single buffer
 // write, link traversal, delivery or drop anywhere condemns the whole
 // fabric population, accounted as fault drops. The counters are merged
 // identically by every kernel, so the watchdog fires on the same cycle at
@@ -1003,7 +1056,7 @@ func (n *Network) applyFaults() {
 func (n *Network) watchdog() {
 	moved := n.Energy.Writes + n.Energy.Traversals +
 		n.Stats.PacketsDelivered + n.Stats.PacketsDropped
-	if n.inFlight == 0 || n.faults.AnyDown() || moved != n.lastMove {
+	if n.inFlight == 0 || n.faults.AnyTransientDown() || moved != n.lastMove {
 		n.lastMove = moved
 		n.stallRun = 0
 		return
@@ -1148,16 +1201,20 @@ func (n *Network) stormScan() {
 		}
 	}
 	// Source queues: packets bound for a dead home router can never deliver.
-	// Packets queued at a dead source router are held, not killed — their
-	// injection is gated until the router recovers.
+	// Packets queued at a transiently dead source router are held, not
+	// killed — their injection is gated until the router recovers. A
+	// permanently dead source router never recovers, so everything queued
+	// there is condemned (reliability records, if any, keep retrying until
+	// their budgets give the packets up as DeliveryFailed).
 	for _, s := range n.nis {
+		srcDead := st.RouterPermanentlyDown(s.router)
 		if s.cur != nil {
-			if p := s.cur[s.idx].Packet; st.RouterDead(n.home[p.Dst]) {
+			if p := s.cur[s.idx].Packet; srcDead || st.RouterDead(n.home[p.Dst]) {
 				n.condemn(p)
 			}
 		}
 		for _, p := range s.queue {
-			if st.RouterDead(n.home[p.Dst]) {
+			if srcDead || st.RouterDead(n.home[p.Dst]) {
 				n.condemn(p)
 			}
 		}
@@ -1201,12 +1258,15 @@ func (n *Network) purgePacket(p *flit.Packet) {
 			f := d.flit
 			if d.router >= 0 {
 				// The flit was heading into a buffer slot its sender already
-				// debited; hand the credit straight back. Credit increments
-				// commute, so delivering it now rather than through the ring
-				// cannot change results.
+				// debited; hand the credit back. Plain credit increments
+				// commute, but an EVC router may *relay* the credit, which
+				// schedules a fresh ring delivery — and an append into the
+				// slot this sweep is rebuilding would be lost when the slot
+				// is reassigned below. Defer every router credit until the
+				// sweep is done so relays land in fully-rebuilt slots.
 				u := n.ups[d.router][d.port]
 				if u.router >= 0 {
-					n.routers[u.router].DeliverCredit(u.out, f.VC)
+					n.credRet = append(n.credRet, credRet{router: u.router, out: u.out, vc: f.VC})
 				} else {
 					n.nis[u.out].credit(f.VC)
 				}
@@ -1215,6 +1275,10 @@ func (n *Network) purgePacket(p *flit.Packet) {
 		}
 		n.ring[slot] = kept
 	}
+	for _, c := range n.credRet {
+		n.routers[c.router].DeliverCredit(c.out, c.vc)
+	}
+	n.credRet = n.credRet[:0]
 	for _, node := range n.routers {
 		node.(faultNode).FaultPurge(p, n.dropFlit)
 	}
@@ -1238,6 +1302,7 @@ func (n *Network) purgePacket(p *flit.Packet) {
 	}
 	delete(n.nis[p.Dst].rx, p.ID)
 	n.inFlight--
+	n.relInflightDelta(p, -1, false)
 	n.Stats.PacketsDropped++
 	if tr := n.tracer; tr != nil {
 		tr.Record(obs.Event{
@@ -1280,18 +1345,21 @@ func (n *Network) ResetStats() {
 	n.Energy.Writes, n.Energy.Reads, n.Energy.Traversals, n.Energy.Arbitrations = 0, 0, 0, 0
 }
 
-// Drain runs until the workload is done and no packets remain in flight, up
-// to maxCycles. It returns true if the network drained.
+// Drain runs until the workload is done, no packets remain in flight, and —
+// with reliable delivery on — every sender record has been acknowledged or
+// abandoned, up to maxCycles. It returns true if the network drained. The
+// retry budget bounds how long a record can stay unresolved, so faulted
+// reliable runs terminate even under permanent (never-repaired) failures.
 func (n *Network) Drain(w Workload, maxCycles int) bool {
 	stop := n.startWorkers()
 	defer stop()
 	for i := 0; i < maxCycles; i++ {
-		if (w == nil || w.Done()) && n.inFlight == 0 {
+		if (w == nil || w.Done()) && n.inFlight == 0 && n.relPending == 0 {
 			return true
 		}
 		n.Step(w)
 	}
-	return (w == nil || w.Done()) && n.inFlight == 0
+	return (w == nil || w.Done()) && n.inFlight == 0 && n.relPending == 0
 }
 
 // Quiescent reports whether all routers and NIs are empty.

@@ -33,6 +33,17 @@ type ni struct {
 
 	rx map[uint64]int // packet ID -> flits received so far
 
+	// Reliability state (allocated only with Config.Reliable; DESIGN.md §14).
+	// Sender side: relNext assigns per-destination sequence numbers, tx holds
+	// the outstanding retransmit records, txIdx maps (dst, seq) to a tx index.
+	// Receiver side: relMax/relWin are the per-source dedup window. All of it
+	// is touched on the main goroutine only.
+	relNext []uint64
+	relMax  []uint64
+	relWin  []uint64
+	tx      []relTx
+	txIdx   map[uint64]int
+
 	// sh is the owning shard of the parallel kernel (nil when sequential);
 	// injections buffer into it instead of the delivery ring. fpool supplies
 	// injection flits: the shard's private pool under the parallel kernel
@@ -60,6 +71,13 @@ func newNI(n *Network, node, r, inPort int) *ni {
 	if sh := n.shardForNode(node); sh != nil {
 		s.sh = sh
 		s.fpool = sh.pool
+	}
+	if n.rel != nil {
+		nodes := n.topo.Nodes()
+		s.relNext = make([]uint64, nodes)
+		s.relMax = make([]uint64, nodes)
+		s.relWin = make([]uint64, nodes)
+		s.txIdx = make(map[uint64]int)
 	}
 	for v := range s.credits {
 		s.credits[v] = n.cfg.BufDepth
@@ -183,6 +201,34 @@ func (s *ni) receive(now sim.Cycle, f *flit.Flit, w Workload) {
 	}
 	delete(s.rx, p.ID)
 	s.net.inFlight--
+	if n := s.net; n.rel != nil {
+		if p.RelAck {
+			// Acknowledgement for one of our packets: clear the sender
+			// record. A stray ack (record already cleared or abandoned) is
+			// ignored. Acks are protocol overhead, not payload: they are
+			// counted separately and never reach delivery stats or the
+			// workload.
+			n.Stats.AcksReceived++
+			if i := s.lookupTx(p.Src, p.RelSeq); i >= 0 {
+				s.removeTx(i)
+			}
+			n.pool.RecyclePacket(p)
+			return
+		}
+		if p.RelSeq != 0 {
+			dup := s.relSeen(p.Src, p.RelSeq)
+			n.relInflightDelta(p, -1, !dup)
+			// Ack both fresh and duplicate arrivals — a duplicate means an
+			// earlier ack was lost (or the sender timed out spuriously), and
+			// only a fresh ack can stop the retransmissions.
+			s.sendAck(p)
+			if dup {
+				n.Stats.DuplicatesDropped++
+				n.pool.RecyclePacket(p)
+				return
+			}
+		}
+	}
 	measured := p.Injected >= s.net.Stats.MeasuredFrom
 	s.net.Stats.RecordDelivery(now-p.Injected, now-p.NetStart, p.Size, p.Hops, measured)
 	if w != nil {

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalKeyChurnSensitive: churn is a model parameter, so every churn
+// knob — presence, seed, probabilities, salvage policy — must reach the cache
+// key. A stale hit across churn levels would silently serve the wrong figure.
+func TestCanonicalKeyChurnSensitive(t *testing.T) {
+	base := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1}}`
+	variants := map[string]string{
+		"churn": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"churn":{"seed":1,"linkFail":1e-5,"linkRepair":0.002}}`,
+		"churn seed": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"churn":{"seed":2,"linkFail":1e-5,"linkRepair":0.002}}`,
+		"churn linkFail": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"churn":{"seed":1,"linkFail":2e-5,"linkRepair":0.002}}`,
+		"churn routerFail": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"churn":{"seed":1,"linkFail":1e-5,"linkRepair":0.002,"routerFail":1e-6,"routerRepair":0.001}}`,
+		"churn policy": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"churn":{"seed":1,"linkFail":1e-5,"linkRepair":0.002,"drop":"reroute"}}`,
+		"reliable": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"reliable":{}}`,
+		"reliable budget": `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+			"reliable":{"budget":3}}`,
+	}
+	seen := map[string]string{keyOf(t, base): "base"}
+	for name, raw := range variants {
+		k := keyOf(t, raw)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s: key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestCanonicalKeyChurnDisabledElided: churn with all-zero fail probabilities
+// generates no events, so it canonicalizes away — the run is the same run as
+// one with no churn block at all and must share its cache entry.
+func TestCanonicalKeyChurnDisabledElided(t *testing.T) {
+	plain := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1}}`
+	disabled := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+		"churn":{"seed":9,"linkRepair":0.5}}`
+	if k1, k2 := keyOf(t, plain), keyOf(t, disabled); k1 != k2 {
+		t.Errorf("disabled churn changed the cache key: %s vs %s", k1, k2)
+	}
+}
+
+// TestCanonicalKeyReliableDefaultsFilled: the zero reliable form selects the
+// documented defaults, so spelling the defaults out must hash identically.
+func TestCanonicalKeyReliableDefaultsFilled(t *testing.T) {
+	zero := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},"reliable":{}}`
+	explicit := `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+		"reliable":{"timeout":256,"maxTimeout":2048,"budget":8}}`
+	if k1, k2 := keyOf(t, zero), keyOf(t, explicit); k1 != k2 {
+		t.Errorf("explicit reliable defaults changed the cache key: %s vs %s", k1, k2)
+	}
+}
+
+// TestCanonicalizeRejectsChurnMisuse: schedule+churn together, out-of-range
+// probabilities, unknown policies, and event-count overflow all surface as
+// ErrBadRequest at the service boundary.
+func TestCanonicalizeRejectsChurnMisuse(t *testing.T) {
+	cases := map[string]struct {
+		raw  string
+		want string
+	}{
+		"faults and churn": {
+			raw: `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+				"faults":{"events":[{"cycle":10,"kind":"link-down","router":5},{"cycle":20,"kind":"link-up","router":5}]},
+				"churn":{"seed":1,"linkFail":1e-5,"linkRepair":0.002}}`,
+			want: "mutually exclusive",
+		},
+		"probability above one": {
+			raw: `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+				"churn":{"linkFail":2.0}}`,
+			want: "outside [0, 1]",
+		},
+		"negative probability": {
+			raw: `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+				"churn":{"linkFail":1e-5,"linkRepair":-0.5}}`,
+			want: "outside [0, 1]",
+		},
+		"unknown policy": {
+			raw: `{"topology":"mesh8x8","scheme":"pseudo+s+b","workload":{"rate":0.1},
+				"churn":{"linkFail":1e-5,"drop":"meltdown"}}`,
+			want: "drop policy",
+		},
+		"event overflow": {
+			raw: `{"topology":"mesh8x8","scheme":"pseudo+s+b","measure":100000,"workload":{"rate":0.1},
+				"churn":{"linkFail":0.9,"linkRepair":0.9}}`,
+			want: "events",
+		},
+	}
+	for name, c := range cases {
+		r, err := DecodeRequest([]byte(c.raw))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		_, _, _, err = Canonicalize(r)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: error %v is not ErrBadRequest", name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}

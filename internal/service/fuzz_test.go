@@ -2,8 +2,11 @@ package service
 
 import (
 	"errors"
+	"math"
 	"reflect"
 	"testing"
+
+	"pseudocircuit/noc"
 )
 
 // FuzzDecodeRequest fuzzes the job-request decode + canonicalize path the
@@ -56,5 +59,61 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("canonicalization not idempotent for %s:\nkey  %s vs %s\nform %+v vs %+v",
 				data, key, key2, canon, canon2)
 		}
+	})
+}
+
+// FuzzChurnSpec fuzzes the churn-parameter validation path with hostile
+// values the wire decoder cannot always produce (NaN, infinities, negative
+// probabilities arrive here via programmatic callers). The contract:
+// invalid parameters must come back as ErrBadRequest — never a panic, and
+// never a structurally invalid fault schedule reaching the kernel — and
+// accepted requests must canonicalize to a fixed point (churn parameters
+// are part of the cache key).
+func FuzzChurnSpec(f *testing.F) {
+	f.Add(uint64(7), 1e-5, 0.002, 5e-6, 0.001, "drop", 1000, 10000)
+	f.Add(uint64(1), 0.0, 0.0, 0.0, 0.0, "", 0, 0)
+	f.Add(uint64(0), 1.0, 0.0, 1.0, 0.0, "reroute", 100, 500)
+	f.Add(uint64(3), -0.5, 2.0, math.NaN(), math.Inf(1), "drop", 1000, 10000)
+	f.Add(uint64(9), 1e-9, 1e-9, 0.0, 0.0, "meltdown", 200, 9_000_000)
+	f.Add(uint64(2), 0.9, 0.9, 0.9, 0.9, "drop", 1000, 10000)
+
+	f.Fuzz(func(t *testing.T, seed uint64, lf, lr, rf, rr float64, drop string, warmup, measure int) {
+		r := Request{
+			Spec: noc.Spec{
+				Topology: "mesh8x8", Scheme: "pseudo+s+b", VA: "static",
+				Warmup: warmup, Measure: measure,
+				Churn: &noc.ChurnSpec{
+					Seed: seed, LinkFail: lf, LinkRepair: lr,
+					RouterFail: rf, RouterRepair: rr, Drop: drop,
+				},
+				Reliable: &noc.ReliableSpec{},
+			},
+			Workload: noc.WorkloadSpec{Rate: 0.1},
+		}
+		canon, key, exp, err := Canonicalize(r)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("canonicalize error not ErrBadRequest: %v", err)
+			}
+			return
+		}
+		canon2, key2, _, err := Canonicalize(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-canonicalization: %v", err)
+		}
+		if key2 != key || !reflect.DeepEqual(canon2, canon) {
+			t.Fatalf("canonicalization not idempotent:\nkey  %s vs %s\nform %+v vs %+v",
+				key, key2, canon, canon2)
+		}
+		// An accepted churn must expand into a schedule the kernel accepts:
+		// Build re-validates it and panics on structural violations.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Build panicked on accepted churn %+v: %v", r.Spec.Churn, p)
+				}
+			}()
+			exp.Build()
+		}()
 	})
 }

@@ -35,6 +35,10 @@ const (
 	MaxDim = 64
 	// MaxCycles bounds warmup+measure of one job.
 	MaxCycles = 10_000_000
+	// MaxReliableNodes bounds topologies running with reliable delivery,
+	// whose per-NI sequence/window arrays cost O(nodes) each (O(nodes²)
+	// across the network).
+	MaxReliableNodes = 1024
 	// MaxWorkers bounds the requested cycle-kernel worker count. Worker
 	// count never changes results (only wall-clock), so it is stripped from
 	// the canonical cache key; the bound just stops a remote caller from
@@ -155,6 +159,12 @@ func checkExperiment(exp noc.Experiment, s noc.Spec) error {
 	warmup, measure := exp.Protocol()
 	if warmup+measure > MaxCycles {
 		return fmt.Errorf("warmup+measure %d exceeds limit %d", warmup+measure, MaxCycles)
+	}
+	// Reliable delivery keeps three per-peer arrays on every NI — O(nodes²)
+	// words total — so it gets a tighter node bound than plain runs.
+	if exp.Reliable != nil && exp.Topology.Nodes() > MaxReliableNodes {
+		return fmt.Errorf("reliable delivery limited to %d nodes, topology %q has %d",
+			MaxReliableNodes, s.Topology, exp.Topology.Nodes())
 	}
 	if exp.UseEVC {
 		if exp.Scheme.Pseudo {

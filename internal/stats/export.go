@@ -87,6 +87,13 @@ type GlobalMetrics struct {
 	FlitsDropped      uint64 `json:"flits_dropped"`
 	PacketsRerouted   uint64 `json:"packets_rerouted"`
 	PCFaultTerminated uint64 `json:"pc_fault_terminated"`
+
+	// Reliability accounting; zero when reliable delivery is off.
+	PacketsRetransmitted uint64 `json:"packets_retransmitted"`
+	AcksSent             uint64 `json:"acks_sent"`
+	AcksReceived         uint64 `json:"acks_received"`
+	DuplicatesDropped    uint64 `json:"duplicates_dropped"`
+	DeliveryFailed       uint64 `json:"delivery_failed"`
 }
 
 // WriteMetricsJSONL writes the run's metrics as JSONL: router lines from reg
@@ -170,6 +177,12 @@ func WriteMetricsJSONL(w io.Writer, reg *Registry, series *Series, st *Network) 
 			FlitsDropped:      st.FlitsDropped,
 			PacketsRerouted:   st.PacketsRerouted,
 			PCFaultTerminated: st.PCFaultTerminated,
+
+			PacketsRetransmitted: st.PacketsRetransmitted,
+			AcksSent:             st.AcksSent,
+			AcksReceived:         st.AcksReceived,
+			DuplicatesDropped:    st.DuplicatesDropped,
+			DeliveryFailed:       st.DeliveryFailed,
 		}
 		if err := enc.Encode(line); err != nil {
 			return err

@@ -57,6 +57,15 @@ type Network struct {
 	PacketsRerouted   uint64 // packets salvaged in place under the reroute policy
 	PCFaultTerminated uint64 // pseudo-circuits torn down because their link died
 
+	// Reliability accounting (end-to-end reliable delivery; zero when the
+	// reliability layer is off). All five are mutated on the kernel's main
+	// goroutine only.
+	PacketsRetransmitted uint64 // sender timeout re-injections
+	AcksSent             uint64 // acknowledgement packets injected by receiver NIs
+	AcksReceived         uint64 // acknowledgement packets ejected at sender NIs
+	DuplicatesDropped    uint64 // already-delivered sequenced packets discarded (and re-acked)
+	DeliveryFailed       uint64 // retry budgets exhausted: the flow gave the packet up
+
 	// Warmup handling: events before Reset are discarded by reassigning the
 	// struct; this field records the measurement start for rate reporting.
 	MeasuredFrom sim.Cycle
@@ -111,6 +120,11 @@ func (n *Network) MergeCounters(src *Network) {
 	n.FlitsDropped += src.FlitsDropped
 	n.PacketsRerouted += src.PacketsRerouted
 	n.PCFaultTerminated += src.PCFaultTerminated
+	n.PacketsRetransmitted += src.PacketsRetransmitted
+	n.AcksSent += src.AcksSent
+	n.AcksReceived += src.AcksReceived
+	n.DuplicatesDropped += src.DuplicatesDropped
+	n.DeliveryFailed += src.DeliveryFailed
 	hist := src.LatencyHist
 	*src = Network{MeasuredFrom: src.MeasuredFrom, MeasuredTo: src.MeasuredTo}
 	src.LatencyHist = hist

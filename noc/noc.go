@@ -162,6 +162,16 @@ type (
 	// FaultPolicy selects what happens to in-flight packets whose committed
 	// path crosses a failing link.
 	FaultPolicy = fault.Policy
+	// FaultChurn is a seeded Markov up/down process over links and routers
+	// that expands into a FaultSchedule at run start; see Experiment.Churn.
+	FaultChurn = fault.Churn
+	// Reliability configures NI-level end-to-end reliable delivery
+	// (acknowledgements, deduplication, bounded retransmission); see
+	// Experiment.Reliable.
+	Reliability = network.Reliability
+	// FailureObserver is implemented by workloads that want to hear about
+	// packets abandoned by the reliability layer.
+	FailureObserver = network.FailureObserver
 )
 
 // Fault event kinds and in-flight policies.
@@ -234,6 +244,21 @@ type Experiment struct {
 	// entirely (and hashes identically to an absent schedule in the service's
 	// canonical cache keys).
 	Faults *FaultSchedule
+	// Churn declares a seeded stochastic fault process instead of an explicit
+	// schedule: Build expands it deterministically into a FaultSchedule over
+	// the run's horizon (warmup + measure). Like Faults it is a model
+	// parameter and participates in canonical specs and cache keys — as its
+	// compact parameters, not the expanded events. Mutually exclusive with
+	// Faults; Build panics when both are set or when expansion fails (the
+	// Spec path rejects both with an error first). Nil or all-zero fail
+	// probabilities disable it.
+	Churn *FaultChurn
+	// Reliable enables NI-level end-to-end reliable delivery: sequenced
+	// packets, receiver acks and dedup, sender retransmission with capped
+	// exponential backoff and a bounded retry budget. A model parameter (acks
+	// share the network with data), so it participates in canonical specs and
+	// cache keys. Zero-valued fields select the documented defaults.
+	Reliable *Reliability
 	// Observe opts into the observability layer (per-router counters,
 	// windowed time series, lifecycle tracing). Zero value: all off.
 	Observe Observe
@@ -271,6 +296,13 @@ type Result struct {
 	FlitsDropped      uint64 // flits recycled by fault purges
 	PacketsRerouted   uint64 // packets salvaged under the reroute policy
 	PCFaultTerminated uint64 // pseudo-circuits torn down by faults
+
+	// Reliability accounting; zero when reliable delivery is off.
+	PacketsRetransmitted uint64 // sender timeout re-injections
+	AcksSent             uint64 // receiver acknowledgements injected
+	AcksReceived         uint64 // acknowledgements that made it back
+	DuplicatesDropped    uint64 // retransmitted copies deduplicated at the receiver
+	DeliveryFailed       uint64 // packets abandoned after the retry budget
 }
 
 func (e Experiment) defaults() Experiment {
@@ -314,6 +346,21 @@ func (e Experiment) Build() *Network {
 		Pool:      e.Pool,
 		Naive:     e.NaiveKernel,
 		Faults:    e.Faults,
+		Reliable:  e.Reliable,
+	}
+	if e.Churn != nil && e.Churn.Enabled() {
+		if e.Faults != nil && len(e.Faults.Events) > 0 {
+			panic("noc: Faults and Churn are mutually exclusive")
+		}
+		ft, ok := e.Topology.(fault.Topo)
+		if !ok {
+			panic(fmt.Sprintf("noc: topology %q does not support fault churn", e.Topology.Name()))
+		}
+		sched, err := e.Churn.Expand(ft, int64(e.Warmup+e.Measure))
+		if err != nil {
+			panic("noc: " + err.Error())
+		}
+		cfg.Faults = sched
 	}
 	if e.Opts != nil {
 		cfg.Opts = *e.Opts
@@ -558,5 +605,11 @@ func collect(n *Network, cycles int) Result {
 		FlitsDropped:      s.FlitsDropped,
 		PacketsRerouted:   s.PacketsRerouted,
 		PCFaultTerminated: s.PCFaultTerminated,
+
+		PacketsRetransmitted: s.PacketsRetransmitted,
+		AcksSent:             s.AcksSent,
+		AcksReceived:         s.AcksReceived,
+		DuplicatesDropped:    s.DuplicatesDropped,
+		DeliveryFailed:       s.DeliveryFailed,
 	}
 }

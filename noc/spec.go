@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"pseudocircuit/internal/fault"
+	"pseudocircuit/internal/network"
 	"pseudocircuit/internal/routing"
 	"pseudocircuit/internal/topology"
 	"pseudocircuit/internal/vcalloc"
@@ -41,6 +42,76 @@ type Spec struct {
 	// model parameter: SpecOf renders it canonically (sorted events, defaults
 	// elided), so it participates in cache keys.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Churn declares a seeded stochastic fault process (mutually exclusive
+	// with Faults). A model parameter: the compact (seed, probabilities)
+	// tuple is rendered canonically and participates in cache keys — two
+	// specs with the same churn parameters expand to the same schedule, so
+	// caching on the parameters is exact.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Reliable enables end-to-end reliable delivery. A model parameter
+	// (acks are real traffic): SpecOf renders it with defaults filled, so
+	// explicit defaults and the zero form hash identically.
+	Reliable *ReliableSpec `json:"reliable,omitempty"`
+}
+
+// ChurnSpec is the serializable form of a fault-churn process.
+type ChurnSpec struct {
+	Seed uint64 `json:"seed,omitempty"`
+	// Per-cycle transition probabilities in [0, 1]; a zero fail probability
+	// disables that target class, a zero repair probability with a nonzero
+	// fail probability makes those faults permanent.
+	LinkFail     float64 `json:"linkFail,omitempty"`
+	LinkRepair   float64 `json:"linkRepair,omitempty"`
+	RouterFail   float64 `json:"routerFail,omitempty"`
+	RouterRepair float64 `json:"routerRepair,omitempty"`
+	// Drop selects the in-flight packet policy: "drop" (default) or
+	// "reroute".
+	Drop string `json:"drop,omitempty"`
+}
+
+// ReliableSpec is the serializable form of a Reliability configuration.
+// Zero fields select the documented defaults.
+type ReliableSpec struct {
+	Timeout    int `json:"timeout,omitempty"`
+	MaxTimeout int `json:"maxTimeout,omitempty"`
+	Budget     int `json:"budget,omitempty"`
+}
+
+// Churn converts and validates the churn spec against an experiment's
+// topology and run length, including a trial expansion so degenerate
+// parameters (event-count overflow) surface as an error at the spec boundary
+// rather than a panic in Build. A nil or disabled spec yields nil.
+func (cs *ChurnSpec) Churn(e Experiment) (*FaultChurn, error) {
+	if cs == nil {
+		return nil, nil
+	}
+	pol, ok := fault.PolicyByName(strings.ToLower(cs.Drop))
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown fault drop policy %q", cs.Drop)
+	}
+	c := &FaultChurn{
+		Seed:         cs.Seed,
+		LinkFail:     cs.LinkFail,
+		LinkRepair:   cs.LinkRepair,
+		RouterFail:   cs.RouterFail,
+		RouterRepair: cs.RouterRepair,
+		Policy:       pol,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if !c.Enabled() {
+		return nil, nil
+	}
+	ft, ok := e.Topology.(fault.Topo)
+	if !ok {
+		return nil, fmt.Errorf("noc: topology %q does not support fault churn", e.Topology.Name())
+	}
+	d := e.defaults()
+	if _, err := c.Expand(ft, int64(d.Warmup+d.Measure)); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // FaultSpec is the serializable form of a fault schedule.
@@ -284,6 +355,22 @@ func (s Spec) Experiment() (Experiment, error) {
 	if e.Faults, err = s.Faults.Schedule(e); err != nil {
 		return e, err
 	}
+	if e.Churn, err = s.Churn.Churn(e); err != nil {
+		return e, err
+	}
+	if e.Faults != nil && e.Churn != nil {
+		return e, fmt.Errorf("noc: faults and churn are mutually exclusive")
+	}
+	if s.Reliable != nil {
+		r := *s.Reliable
+		if r.Timeout < 0 || r.MaxTimeout < 0 || r.Budget < 0 {
+			return e, fmt.Errorf("noc: negative reliable parameter %+v", r)
+		}
+		if r.Timeout > 0 && r.MaxTimeout > 0 && r.MaxTimeout < r.Timeout {
+			return e, fmt.Errorf("noc: reliable maxTimeout %d below timeout %d", r.MaxTimeout, r.Timeout)
+		}
+		e.Reliable = &Reliability{Timeout: r.Timeout, MaxTimeout: r.MaxTimeout, Budget: r.Budget}
+	}
 	return e, nil
 }
 
@@ -334,6 +421,45 @@ func SpecOf(e Experiment) Spec {
 			}
 		}
 		s.Faults = fs
+	}
+	// Churn renders as its compact parameters (never the expanded events):
+	// the expansion is a pure function of them, so the parameters alone key
+	// the cache exactly. Disabled churn is elided entirely, like an empty
+	// fault schedule.
+	if e.Churn != nil && e.Churn.Enabled() {
+		cs := &ChurnSpec{
+			Seed:         e.Churn.Seed,
+			LinkFail:     e.Churn.LinkFail,
+			LinkRepair:   e.Churn.LinkRepair,
+			RouterFail:   e.Churn.RouterFail,
+			RouterRepair: e.Churn.RouterRepair,
+		}
+		if e.Churn.Policy != fault.Drop {
+			cs.Drop = e.Churn.Policy.String()
+		}
+		s.Churn = cs
+	}
+	// Reliability renders with defaults filled, so an explicit default and
+	// the zero form produce one canonical spec (and one cache key).
+	if e.Reliable != nil {
+		r := ReliableSpec{
+			Timeout:    e.Reliable.Timeout,
+			MaxTimeout: e.Reliable.MaxTimeout,
+			Budget:     e.Reliable.Budget,
+		}
+		if r.Timeout <= 0 {
+			r.Timeout = network.DefaultRelTimeout
+		}
+		if r.MaxTimeout <= 0 {
+			r.MaxTimeout = network.DefaultRelMaxTimeout
+		}
+		if r.MaxTimeout < r.Timeout {
+			r.MaxTimeout = r.Timeout
+		}
+		if r.Budget <= 0 {
+			r.Budget = network.DefaultRelBudget
+		}
+		s.Reliable = &r
 	}
 	return s
 }

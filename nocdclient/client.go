@@ -15,10 +15,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"time"
 
 	"pseudocircuit/noc"
 )
@@ -60,23 +63,123 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("nocd: %d: %s", e.Status, e.Message)
 }
 
+// RetryPolicy configures the client's transient-failure retries. Every
+// daemon operation the client issues is idempotent (submission is
+// content-addressed: re-submitting joins the cached or in-flight job), so
+// transport errors and retryable status codes (429, 502, 503, 504 — the
+// daemon answers 503 when a ?wait queue is saturated) are retried with
+// jittered exponential backoff until MaxAttempts or the context ends,
+// whichever comes first.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 2 disable retrying. Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry number retry (0-based):
+// BaseDelay·2^retry capped at MaxDelay, then uniformly jittered in
+// [½d, 1½d) so a fleet of clients hammered by the same outage does not
+// retry in lockstep.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	d := p.BaseDelay << uint(retry)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
 // Client talks to one nocd daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g. "http://localhost:8080").
 // The zero-timeout default http.Client is used; replace it with WithHTTP for
-// custom transports.
+// custom transports. Transient failures are retried with the default
+// RetryPolicy; tune or disable with WithRetry.
 func New(base string) *Client {
-	return &Client{base: base, http: http.DefaultClient}
+	return &Client{base: base, http: http.DefaultClient, retry: RetryPolicy{}.withDefaults()}
 }
 
 // WithHTTP sets the underlying HTTP client and returns c.
 func (c *Client) WithHTTP(h *http.Client) *Client {
 	c.http = h
 	return c
+}
+
+// WithRetry sets the retry policy (zero fields select defaults) and returns
+// c. RetryPolicy{MaxAttempts: 1} disables retrying.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p.withDefaults()
+	if p.MaxAttempts == 1 {
+		c.retry.MaxAttempts = 1
+	}
+	return c
+}
+
+// retryable reports whether err is worth retrying: transport-level failures
+// (connection refused/reset, unexpected EOF) and the retryable status codes.
+// Context cancellation and deadline expiry are never retried — the caller
+// gave up, not the daemon.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	var urlErr *url.Error
+	return errors.As(err, &urlErr)
+}
+
+// doRetry runs mk to build a fresh request per attempt (request bodies are
+// single-use) and executes it under the retry policy, sleeping the jittered
+// backoff between attempts unless ctx ends first.
+func (c *Client) doRetry(ctx context.Context, mk func() (*http.Request, error), out any) error {
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return err
+		}
+		err = c.do(req, out)
+		if err == nil || attempt+1 >= c.retry.MaxAttempts || !retryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(c.retry.delay(attempt)):
+		case <-ctx.Done():
+			return err
+		}
+	}
 }
 
 // Submit enqueues a job (or hits the cache / joins an identical in-flight
@@ -103,13 +206,18 @@ func (c *Client) submit(ctx context.Context, r Request, wait bool) (Job, error) 
 	if wait {
 		u += "?wait=1"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
-	if err != nil {
-		return Job{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
+	// Submission is idempotent — the daemon content-addresses requests, so a
+	// retried POST joins the cached result or the in-flight duplicate — which
+	// is what makes retrying it safe.
 	var j Job
-	return j, c.do(req, &j)
+	return j, c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, &j)
 }
 
 // Job fetches the current snapshot.
@@ -132,13 +240,11 @@ func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
 
 // Result fetches the finished job's result.
 func (c *Client) Result(ctx context.Context, id string) (noc.Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/jobs/"+url.PathEscape(id)+"/result", nil)
-	if err != nil {
-		return noc.Result{}, err
-	}
 	var res noc.Result
-	return res, c.do(req, &res)
+	return res, c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/jobs/"+url.PathEscape(id)+"/result", nil)
+	}, &res)
 }
 
 // Cancel requests cancellation and returns the (possibly still running)
@@ -171,12 +277,10 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 func (c *Client) get(ctx context.Context, path string) (Job, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return Job{}, err
-	}
 	var j Job
-	return j, c.do(req, &j)
+	return j, c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	}, &j)
 }
 
 // do executes the request and decodes a 2xx body into out, or a non-2xx

@@ -1,0 +1,219 @@
+package nocdclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pseudocircuit/noc"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+func testRequest() Request {
+	return Request{
+		Spec:     noc.Spec{Topology: "mesh4x4", Scheme: "pseudo"},
+		Workload: noc.WorkloadSpec{Rate: 0.05},
+	}
+}
+
+func serveJob(w http.ResponseWriter, state string) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Job{ID: "j1", State: state})
+}
+
+// TestSubmitRetries503 exercises the saturated-daemon path: the first two
+// submissions bounce with 503 and the third succeeds. The client must retry
+// through the 503s and deliver the final job.
+func TestSubmitRetries503(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		serveJob(w, "done")
+	}))
+	defer srv.Close()
+
+	j, err := New(srv.URL).WithRetry(fastRetry).Submit(context.Background(), testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State != "done" {
+		t.Fatalf("job state = %q, want done", j.State)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestSubmitRetriesTransportError drops the TCP connection mid-request for
+// the first two attempts; the resulting transport errors must be retried.
+func TestSubmitRetriesTransportError(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("response writer cannot hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close() // abrupt close: the client sees EOF / connection reset
+			return
+		}
+		serveJob(w, "queued")
+	}))
+	defer srv.Close()
+
+	j, err := New(srv.URL).WithRetry(fastRetry).Submit(context.Background(), testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State != "queued" {
+		t.Fatalf("job state = %q, want queued", j.State)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestSubmitDoesNotRetry400 asserts a validation failure is terminal: the
+// request is broken, so retrying it would just repeat the 400.
+func TestSubmitDoesNotRetry400(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad request: unknown scheme"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).WithRetry(fastRetry).Submit(context.Background(), testRequest())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on 400)", got)
+	}
+}
+
+// TestRetryExhaustion asserts a persistent outage surfaces the last error
+// after exactly MaxAttempts tries.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).WithRetry(fastRetry).Submit(context.Background(), testRequest())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := calls.Load(); got != int32(fastRetry.MaxAttempts) {
+		t.Fatalf("server saw %d requests, want %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+// TestRetryBoundedByContext asserts an expired context cuts the retry loop
+// short: with a generous backoff and a tiny deadline, the client must give
+// up early instead of sleeping through all attempts.
+func TestRetryBoundedByContext(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	slow := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second, MaxDelay: time.Second}
+	start := time.Now()
+	_, err := New(srv.URL).WithRetry(slow).Submit(ctx, testRequest())
+	if err == nil {
+		t.Fatal("Submit succeeded against an always-503 server")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retry loop ran %v, want prompt exit on context expiry", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 before the deadline", got)
+	}
+}
+
+// TestWaitRetries503 asserts the long-poll loop rides through transient
+// 503s: two flaky polls, then a running snapshot, then the terminal one.
+func TestWaitRetries503(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+		case 3:
+			serveJob(w, "running")
+		default:
+			serveJob(w, "done")
+		}
+	}))
+	defer srv.Close()
+
+	j, err := New(srv.URL).WithRetry(fastRetry).Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.State != "done" {
+		t.Fatalf("job state = %q, want done", j.State)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4", got)
+	}
+}
+
+// TestRetryDisabled asserts MaxAttempts 1 turns retrying off entirely.
+func TestRetryDisabled(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 1}).Submit(context.Background(), testRequest())
+	if err == nil {
+		t.Fatal("Submit succeeded against an always-503 server")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 with retries disabled", got)
+	}
+}
+
+// TestRetryDelayBounds pins the jitter window: every sampled delay must lie
+// in [½d, 1½d) of the capped exponential step.
+func TestRetryDelayBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}.withDefaults()
+	for retry := 0; retry < 12; retry++ {
+		d := p.BaseDelay << uint(retry)
+		if d <= 0 || d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			got := p.delay(retry)
+			if got < d/2 || got >= d/2+d {
+				t.Fatalf("delay(%d) = %v outside [%v, %v)", retry, got, d/2, d/2+d)
+			}
+		}
+	}
+}
