@@ -15,9 +15,13 @@
 //	curl -s localhost:8080/jobs -d '...same spec'  # -> "cacheHit": true
 //
 // Endpoints: POST /jobs (?wait=1), GET /jobs, GET /jobs/{id} (?wait=1,
-// ?watch=1 for an NDJSON progress stream), GET /jobs/{id}/result,
-// POST /jobs/{id}/cancel (or DELETE /jobs/{id}), GET /healthz, and the
-// stock /debug/vars (service counters under "nocd") and /debug/pprof.
+// ?watch=1 for an NDJSON progress stream with cycles/sec and ETA),
+// GET /jobs/{id}/result, POST /jobs/{id}/cancel (or DELETE /jobs/{id}),
+// GET /healthz (liveness), GET /readyz (readiness: 503 while draining or
+// queue-full), GET /metrics (Prometheus text exposition), GET /spans
+// (job-lifecycle spans: JSONL, ?format=chrome for chrome://tracing), and
+// the stock /debug/vars (service counters under "nocd") and /debug/pprof.
+// -log-json adds one structured JSON log line per request on stderr.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -45,6 +50,8 @@ func main() {
 		cacheCap    = flag.Int("cache", 1024, "max cached results (oldest evicted)")
 		chunk       = flag.Int("chunk", 1000, "cycles between cancellation checks and progress updates")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline before in-flight jobs are cancelled")
+		spanCap     = flag.Int("spans", 4096, "max retained job-lifecycle spans (oldest evicted)")
+		logJSON     = flag.Bool("log-json", false, "emit one structured JSON log line per request on stderr")
 		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -58,6 +65,7 @@ func main() {
 		QueueCap: *queueCap,
 		CacheCap: *cacheCap,
 		Chunk:    *chunk,
+		SpanCap:  *spanCap,
 	})
 	expvar.Publish("nocd", expvar.Func(func() any { return m.Stats() }))
 
@@ -66,7 +74,13 @@ func main() {
 	// delegate the whole /debug/ subtree to it.
 	mux.Handle("GET /debug/", http.DefaultServeMux)
 
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	var handler http.Handler = mux
+	if *logJSON {
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		handler = requestLog(logger, mux)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "nocd: listening on %s\n", *listen)

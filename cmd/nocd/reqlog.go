@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"pseudocircuit/internal/service"
+)
+
+// logCtxKey carries a per-request *logInfo so handlers can annotate the
+// access log with job identity without threading a logger through every
+// handler signature.
+type logCtxKey struct{}
+
+type logInfo struct {
+	job, key, outcome string
+}
+
+// noteJob annotates the request's log record with the job a handler
+// resolved. A no-op when request logging is off (no logInfo in context).
+func noteJob(r *http.Request, j service.Job) {
+	info, _ := r.Context().Value(logCtxKey{}).(*logInfo)
+	if info == nil {
+		return
+	}
+	info.job = j.ID
+	info.key = j.Key
+	switch {
+	case j.CacheHit:
+		info.outcome = "cache-hit"
+	case j.Dedup:
+		info.outcome = "coalesced"
+	default:
+		info.outcome = string(j.State)
+	}
+}
+
+// statusRecorder captures the status code a handler writes while keeping
+// the Flusher passthrough the NDJSON watch stream depends on.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog emits one structured log line per request: method, path,
+// status, wall duration, and — when a handler noted one — the job id, its
+// spec hash, and the submission outcome.
+func requestLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		info := &logInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), logCtxKey{}, info))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start)),
+		}
+		if info.job != "" {
+			attrs = append(attrs,
+				slog.String("job", info.job),
+				slog.String("key", info.key),
+				slog.String("outcome", info.outcome))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/telemetry"
 )
 
 // maxBodyBytes bounds a job-submission body; specs are a few hundred bytes.
@@ -16,12 +17,40 @@ const maxBodyBytes = 1 << 20
 // watchInterval paces the NDJSON progress stream of GET /jobs/{id}?watch=1.
 const watchInterval = 250 * time.Millisecond
 
-// newMux builds the service API. main adds the /debug/ subtree; tests serve
-// this mux directly.
+// newMux builds the service API. main adds the /debug/ subtree and the
+// request-log middleware; tests serve this mux directly.
 func newMux(m *service.Manager) *http.ServeMux {
 	mux := http.NewServeMux()
+	// /healthz is liveness only: the process is up and serving. Readiness
+	// (would a submission be accepted right now?) is /readyz, which load
+	// balancers should poll instead.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Ready(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		m.Telemetry().WritePrometheus(w)
+	})
+	// /spans exports the job-lifecycle span log: JSONL by default,
+	// ?format=chrome for a chrome://tracing / Perfetto document.
+	mux.HandleFunc("GET /spans", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "", "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			m.SpanLog().WriteJSONL(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			m.SpanLog().WriteChromeTrace(w)
+		default:
+			writeError(w, http.StatusBadRequest, errors.New("unknown format; want jsonl or chrome"))
+		}
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(m, w, r)
@@ -86,6 +115,7 @@ func handleSubmit(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 		}
 		j = jw
 	}
+	noteJob(r, j)
 	status := http.StatusAccepted
 	if j.State.Terminal() {
 		status = http.StatusOK
@@ -100,6 +130,7 @@ func handleStatus(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, service.ErrUnknownJob)
 		return
 	}
+	noteJob(r, j)
 	q := r.URL.Query()
 	switch {
 	case q.Get("watch") != "":
@@ -114,6 +145,7 @@ func handleStatus(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
+		noteJob(r, jw)
 		writeJSON(w, http.StatusOK, jw)
 	default:
 		writeJSON(w, http.StatusOK, j)
@@ -158,6 +190,7 @@ func handleResult(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, service.ErrUnknownJob)
 		return
 	}
+	noteJob(r, j)
 	switch j.State {
 	case service.StateDone:
 		writeJSON(w, http.StatusOK, j.Result)
@@ -176,6 +209,7 @@ func handleCancel(m *service.Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	noteJob(r, j)
 	writeJSON(w, http.StatusOK, j)
 }
 

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsEndpoint: a double submission shows up on /metrics as a
+// cache hit, and the whole exposition parses under the strict validator.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := c.SubmitWait(ctx, smallReq(3)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Submit(ctx, smallReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.CacheHit {
+		t.Fatal("resubmission missed the cache")
+	}
+
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("content type %q, want %q", ct, telemetry.ContentType)
+	}
+	if _, err := telemetry.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"nocd_cache_hits_total 1",
+		"nocd_cache_misses_total 1",
+		"nocd_queue_wait_seconds_count 1",
+		`nocd_run_seconds_count{scheme="pseudo+s+b"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics\n%s", want, body)
+		}
+	}
+}
+
+// TestReadyzDraining: /readyz answers 200 while serving and 503 once the
+// manager is draining; /healthz stays 200 throughout (liveness only).
+func TestReadyzDraining(t *testing.T) {
+	m := service.New(service.Config{Workers: 1, Chunk: 100})
+	srv := httptest.NewServer(newMux(m))
+	defer srv.Close()
+
+	if resp, _ := get(t, srv.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready daemon /readyz = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get(t, srv.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon /readyz = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining daemon /healthz = %d, want 200 (liveness)", resp.StatusCode)
+	}
+}
+
+// TestSpansEndpoint: both export formats validate under their own
+// checkers after a completed job.
+func TestSpansEndpoint(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.SubmitWait(ctx, smallReq(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, srv.URL+"/spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans status %d", resp.StatusCode)
+	}
+	n, err := telemetry.ValidateSpansJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("span JSONL invalid: %v\n%s", err, body)
+	}
+	// cache-lookup, queue-wait, run at minimum.
+	if n < 3 {
+		t.Fatalf("only %d spans exported", n)
+	}
+
+	resp, body = get(t, srv.URL+"/spans?format=chrome")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans?format=chrome status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+
+	if resp, _ := get(t, srv.URL+"/spans?format=nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestLogMiddleware: with the middleware installed, each request
+// emits one JSON line carrying method/path/status/duration, and job
+// handlers annotate it with id, spec hash and outcome.
+func TestRequestLogMiddleware(t *testing.T) {
+	m := service.New(service.Config{Workers: 2, Chunk: 100})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	srv := httptest.NewServer(requestLog(logger, newMux(m)))
+	defer srv.Close()
+
+	body := `{"topology":"mesh4x4","scheme":"pseudo+s+b","va":"static","warmup":100,"measure":400,` +
+		`"workload":{"pattern":"uniform","rate":0.1}}`
+	resp, err := http.Post(srv.URL+"/jobs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	get(t, srv.URL+"/healthz")
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var rec struct {
+		Msg      string  `json:"msg"`
+		Method   string  `json:"method"`
+		Path     string  `json:"path"`
+		Status   int     `json:"status"`
+		Duration float64 `json:"duration"`
+		Job      string  `json:"job"`
+		Key      string  `json:"key"`
+		Outcome  string  `json:"outcome"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Msg != "request" || rec.Method != "POST" || rec.Path != "/jobs" ||
+		rec.Status != http.StatusOK || rec.Duration <= 0 {
+		t.Fatalf("submit log record: %+v", rec)
+	}
+	if rec.Job == "" || len(rec.Key) != 64 || rec.Outcome != "done" {
+		t.Fatalf("submit log missing job identity: %+v", rec)
+	}
+	rec.Job, rec.Outcome = "", ""
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Path != "/healthz" || rec.Job != "" {
+		t.Fatalf("healthz log record: %+v", rec)
+	}
+}
+
+// TestWatchCarriesRate: the ?watch NDJSON stream's terminal line reports
+// the simulation rate and timings.
+func TestWatchCarriesRate(t *testing.T) {
+	srv, _, c := testServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j, err := c.Submit(ctx, smallReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, srv.URL+"/jobs/"+j.ID+"?watch=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	var last struct {
+		State        string  `json:"state"`
+		RunMS        float64 `json:"runMs"`
+		CyclesPerSec float64 `json:"cyclesPerSec"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.State != "done" {
+		t.Fatalf("terminal watch state %q", last.State)
+	}
+	if last.RunMS <= 0 || last.CyclesPerSec <= 0 {
+		t.Fatalf("terminal watch line lacks rate: %+v", last)
+	}
+}

@@ -1,0 +1,99 @@
+// Command promlint validates a Prometheus text exposition (as served by
+// nocd's /metrics) against the strict checker in internal/telemetry: every
+// sample must belong to a declared family, histogram buckets must be
+// cumulative with a +Inf terminator, and sample lines must parse exactly.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint metrics.txt
+//
+// With -require NAME, the exposition must additionally contain a sample of
+// that family with a value >= -min (CI uses this to assert the cache-hit
+// counter moved). Exits non-zero on any violation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pseudocircuit/internal/telemetry"
+)
+
+func main() {
+	var (
+		require = flag.String("require", "", "metric family that must be present")
+		min     = flag.Float64("min", 1, "minimum value for the -require sample")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r, src = f, flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fatal("usage: promlint [-require NAME [-min V]] [file]")
+	}
+
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal("read %s: %v", src, err)
+	}
+	families, err := telemetry.ValidateExposition(bytes.NewReader(data))
+	if err != nil {
+		fatal("%s: %v", src, err)
+	}
+	if *require != "" {
+		v, ok := sampleValue(data, *require)
+		if !ok {
+			fatal("%s: no sample of required family %q", src, *require)
+		}
+		if v < *min {
+			fatal("%s: %s = %g, want >= %g", src, *require, v, *min)
+		}
+	}
+	fmt.Printf("promlint: %s: %d families ok\n", src, families)
+}
+
+// sampleValue returns the largest value among samples of the named family
+// (any label set).
+func sampleValue(data []byte, name string) (float64, bool) {
+	var best float64
+	var found bool
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		end := strings.IndexAny(line, "{ ")
+		if end < 0 || line[:end] != name {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		if !found || v > best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promlint: "+format+"\n", args...)
+	os.Exit(1)
+}

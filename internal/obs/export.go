@@ -97,7 +97,11 @@ type chromeArgs struct {
 	Out int32  `json:"out"`
 }
 
-type chromeEvent struct {
+// ChromeEvent is one trace_event entry: a slice (ph "X"), instant ("i") or
+// metadata ("M") record. It is the shared wire shape for every exporter that
+// wants its spans on the same chrome://tracing / Perfetto timeline as the
+// flit-lifecycle traces (the service layer's job spans reuse it).
+type ChromeEvent struct {
 	Name string      `json:"name"`
 	Ph   string      `json:"ph"`
 	Ts   int64       `json:"ts"`
@@ -108,30 +112,71 @@ type chromeEvent struct {
 	Args interface{} `json:"args,omitempty"`
 }
 
+// ChromeWriter streams ChromeEvents as trace_event JSON (the object form:
+// {"traceEvents": [...]}). NewChromeWriter writes the header; Event appends
+// entries; Close terminates the array and flushes. The writer dedups
+// process_name metadata so every exporter sharing the file names its lanes
+// exactly once.
+type ChromeWriter struct {
+	bw    *bufio.Writer
+	first bool
+	named map[int64]bool
+}
+
+// NewChromeWriter starts a trace_event stream on w.
+func NewChromeWriter(w io.Writer) (*ChromeWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return nil, err
+	}
+	return &ChromeWriter{bw: bw, first: true, named: map[int64]bool{}}, nil
+}
+
+// Event appends one trace entry.
+func (cw *ChromeWriter) Event(ev ChromeEvent) error {
+	if !cw.first {
+		if err := cw.bw.WriteByte(','); err != nil {
+			return err
+		}
+	}
+	cw.first = false
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = cw.bw.Write(data)
+	return err
+}
+
+// NameProcess emits a process_name metadata entry for pid once; repeated
+// calls for the same pid are no-ops.
+func (cw *ChromeWriter) NameProcess(pid int64, name string) error {
+	if cw.named[pid] {
+		return nil
+	}
+	cw.named[pid] = true
+	return cw.Event(ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]string{"name": name},
+	})
+}
+
+// Close terminates the traceEvents array and flushes.
+func (cw *ChromeWriter) Close() error {
+	if _, err := cw.bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
+}
+
 // WriteChromeTrace writes the retained events in Chrome trace_event JSON
 // (the object form: {"traceEvents": [...]}), loadable by chrome://tracing
 // and ui.perfetto.dev.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+	cw, err := NewChromeWriter(w)
+	if err != nil {
 		return err
 	}
-	first := true
-	emit := func(ev chromeEvent) error {
-		if !first {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		first = false
-		data, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		_, err = bw.Write(data)
-		return err
-	}
-	named := map[int64]bool{}
 	for _, ev := range t.Events() {
 		pid := int64(ev.Loc)
 		procName := fmt.Sprintf("router %d", ev.Loc)
@@ -152,14 +197,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if tid < 0 {
 			tid = 0
 		}
-		if !named[pid] {
-			named[pid] = true
-			if err := emit(chromeEvent{
-				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
-				Args: map[string]string{"name": procName},
-			}); err != nil {
-				return err
-			}
+		if err := cw.NameProcess(pid, procName); err != nil {
+			return err
 		}
 		name := fmt.Sprintf("%s p%d.%d", ev.Kind, ev.Packet, ev.Seq)
 		switch ev.Kind {
@@ -168,7 +207,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		case RouterDown, RouterUp:
 			name = ev.Kind.String()
 		}
-		if err := emit(chromeEvent{
+		if err := cw.Event(ChromeEvent{
 			Name: name,
 			Ph:   ph, Ts: ev.Cycle, Dur: dur, Pid: pid, Tid: tid, S: scope,
 			Args: chromeArgs{Pkt: ev.Packet, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst, VC: ev.VC, Out: ev.Out},
@@ -176,10 +215,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return cw.Close()
 }
 
 // ValidateChromeTrace checks that a Chrome trace decodes as the trace_event

@@ -32,7 +32,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pseudocircuit/internal/telemetry"
 	"pseudocircuit/noc"
 )
 
@@ -51,6 +53,8 @@ type Config struct {
 	// Chunk is the cycle count between cancellation checks and progress
 	// updates (default 1000).
 	Chunk int
+	// SpanCap bounds the job-lifecycle span ring (default 4096).
+	SpanCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Chunk <= 0 {
 		c.Chunk = 1000
+	}
+	if c.SpanCap <= 0 {
+		c.SpanCap = 4096
 	}
 	return c
 }
@@ -98,12 +105,24 @@ type Job struct {
 	CacheHit bool `json:"cacheHit"`
 	// Dedup marks a submission that joined an identical in-flight job; the
 	// ID is the original job's.
-	Dedup       bool        `json:"dedup"`
-	CyclesDone  int         `json:"cyclesDone"`
-	CyclesTotal int         `json:"cyclesTotal"`
-	Request     Request     `json:"request"`
-	Result      *noc.Result `json:"result,omitempty"`
-	Error       string      `json:"error,omitempty"`
+	Dedup       bool `json:"dedup"`
+	CyclesDone  int  `json:"cyclesDone"`
+	CyclesTotal int  `json:"cyclesTotal"`
+	// QueueWaitMS is the wall time the job spent waiting for a worker, in
+	// milliseconds; zero for cache hits and while still queued.
+	QueueWaitMS float64 `json:"queueWaitMs"`
+	// RunMS is the wall time a worker spent simulating, in milliseconds:
+	// elapsed-so-far while running, final once terminal, zero for cache hits.
+	RunMS float64 `json:"runMs"`
+	// CyclesPerSec is the simulation rate over the run so far; present while
+	// running and on terminal snapshots of jobs that actually simulated.
+	CyclesPerSec float64 `json:"cyclesPerSec,omitempty"`
+	// ETASeconds estimates the remaining run time from the current rate;
+	// present only while running.
+	ETASeconds float64     `json:"etaSeconds,omitempty"`
+	Request    Request     `json:"request"`
+	Result     *noc.Result `json:"result,omitempty"`
+	Error      string      `json:"error,omitempty"`
 }
 
 // Submission/lifecycle errors the transport maps to HTTP statuses.
@@ -117,6 +136,7 @@ var (
 type job struct {
 	id     string
 	key    string
+	scheme string // bounded label value for per-scheme metrics
 	req    Request
 	exp    noc.Experiment
 	total  int
@@ -130,6 +150,11 @@ type job struct {
 	cyclesDone int
 	result     *noc.Result
 	err        string
+
+	// Wall-clock lifecycle marks; zero until the phase is reached.
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 }
 
 func (j *job) snapshot() Job {
@@ -149,6 +174,20 @@ func (j *job) snapshot() Job {
 		r := *j.result
 		s.Result = &r
 	}
+	if !j.startedAt.IsZero() {
+		s.QueueWaitMS = float64(j.startedAt.Sub(j.enqueuedAt)) / float64(time.Millisecond)
+		runFor := time.Since(j.startedAt)
+		if !j.finishedAt.IsZero() {
+			runFor = j.finishedAt.Sub(j.startedAt)
+		}
+		s.RunMS = float64(runFor) / float64(time.Millisecond)
+		if secs := runFor.Seconds(); secs > 0 && j.cyclesDone > 0 {
+			s.CyclesPerSec = float64(j.cyclesDone) / secs
+			if j.state == StateRunning {
+				s.ETASeconds = float64(j.total-j.cyclesDone) / s.CyclesPerSec
+			}
+		}
+	}
 	return s
 }
 
@@ -157,6 +196,7 @@ type Manager struct {
 	cfg   Config
 	queue chan *job
 	wg    sync.WaitGroup
+	ins   *instruments
 
 	mu         sync.Mutex
 	closed     bool
@@ -188,6 +228,7 @@ func New(cfg Config) *Manager {
 		inflight: make(map[string]*job),
 		cache:    make(map[string]noc.Result),
 	}
+	m.ins = newInstruments(m, cfg.SpanCap)
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -208,6 +249,7 @@ func (m *Manager) Submit(r Request) (Job, error) {
 	if m.closed {
 		return Job{}, ErrShuttingDown
 	}
+	now := time.Now()
 	if res, ok := m.cache[key]; ok {
 		j := m.newJobLocked(canon, key, exp)
 		j.state = StateDone
@@ -217,16 +259,23 @@ func (m *Manager) Submit(r Request) (Job, error) {
 		close(j.done)
 		m.submitted.Add(1)
 		m.cacheHits.Add(1)
+		m.ins.submissions.Inc()
+		m.ins.cacheHits.Inc()
+		m.ins.instant("cache-hit", j, "hit", now)
 		return j.snapshot(), nil
 	}
 	if j, ok := m.inflight[key]; ok {
 		m.submitted.Add(1)
 		m.dedupHits.Add(1)
+		m.ins.submissions.Inc()
+		m.ins.coalesced.Inc()
+		m.ins.instant("cache-lookup", j, "coalesced", now)
 		s := j.snapshot()
 		s.Dedup = true
 		return s, nil
 	}
 	j := m.newJobLocked(canon, key, exp)
+	j.enqueuedAt = now // pre-publication: workers only see j after the send
 	select {
 	case m.queue <- j:
 	default:
@@ -236,11 +285,16 @@ func (m *Manager) Submit(r Request) (Job, error) {
 		m.jobOrder = m.jobOrder[:len(m.jobOrder)-1]
 		j.cancel()
 		m.rejected.Add(1)
+		m.ins.rejected.Inc()
 		return Job{}, ErrQueueFull
 	}
 	m.inflight[key] = j
 	m.submitted.Add(1)
 	m.enqueued.Add(1)
+	m.ins.submissions.Inc()
+	m.ins.cacheMisses.Inc()
+	m.ins.queued.Add(1)
+	m.ins.instant("cache-lookup", j, "miss", now)
 	return j.snapshot(), nil
 }
 
@@ -252,6 +306,7 @@ func (m *Manager) newJobLocked(req Request, key string, exp noc.Experiment) *job
 	j := &job{
 		id:     fmt.Sprintf("j%d", m.seq),
 		key:    key,
+		scheme: schemeLabel(req),
 		req:    req,
 		exp:    exp,
 		total:  warmup + measure,
@@ -298,12 +353,20 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) runJob(j *job, pool *noc.Pool) {
+	started := time.Now()
 	j.mu.Lock()
 	j.state = StateRunning
+	j.startedAt = started
 	j.mu.Unlock()
+	m.ins.queued.Add(-1)
+	m.ins.queueWait.Observe(started.Sub(j.enqueuedAt).Seconds())
+	m.ins.span("queue-wait", j, "dequeued", j.enqueuedAt, started)
 	m.running.Add(1)
+	m.ins.running.Add(1)
 	res, err := m.simulate(j, pool)
+	finished := time.Now()
 	m.running.Add(-1)
+	m.ins.running.Add(-1)
 
 	m.mu.Lock()
 	delete(m.inflight, j.key)
@@ -313,6 +376,7 @@ func (m *Manager) runJob(j *job, pool *noc.Pool) {
 	m.mu.Unlock()
 
 	j.mu.Lock()
+	j.finishedAt = finished
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -328,7 +392,13 @@ func (m *Manager) runJob(j *job, pool *noc.Pool) {
 		j.err = err.Error()
 		m.failed.Add(1)
 	}
+	outcome := string(j.state)
+	cyclesDone := j.cyclesDone
 	j.mu.Unlock()
+	m.ins.outcomes.With(outcome).Inc()
+	m.ins.cycles.Add(uint64(cyclesDone))
+	m.ins.runTime.With(j.scheme).Observe(finished.Sub(started).Seconds())
+	m.ins.span("run", j, outcome, started, finished)
 	close(j.done)
 }
 
@@ -426,6 +496,7 @@ func (m *Manager) Cancel(id string) (Job, error) {
 		return Job{}, ErrUnknownJob
 	}
 	j.cancel()
+	m.ins.instant("cancel", j, "requested", time.Now())
 	return j.snapshot(), nil
 }
 
@@ -435,6 +506,7 @@ func (m *Manager) Cancel(id string) (Job, error) {
 // the workers to exit. It returns nil on a clean drain, ctx.Err() when the
 // deadline forced cancellation.
 func (m *Manager) Shutdown(ctx context.Context) error {
+	start := time.Now()
 	m.mu.Lock()
 	alreadyClosed := m.closed
 	if !alreadyClosed {
@@ -450,6 +522,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.ins.spans.Record(telemetry.Span{
+			Name: "drain", Outcome: "clean", Start: start, End: time.Now(),
+		})
 		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
@@ -458,6 +533,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 		m.mu.Unlock()
 		<-done
+		m.ins.spans.Record(telemetry.Span{
+			Name: "drain", Outcome: "deadline", Start: start, End: time.Now(),
+		})
 		return ctx.Err()
 	}
 }

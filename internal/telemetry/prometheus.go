@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition format
+// this package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4), in registration order: a # HELP and
+// # TYPE line per family, then one sample line per child (histograms expand
+// to cumulative _bucket lines plus _sum and _count). Exposition is the
+// reporting path — it allocates freely and takes the registration locks.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ch := range f.snapshotChildren() {
+			writeChild(bw, f, ch)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeChild(bw *bufio.Writer, f *family, ch *child) {
+	lbl := ""
+	if f.label != "" {
+		lbl = fmt.Sprintf("{%s=%q}", f.label, ch.labelValue)
+	}
+	switch f.kind {
+	case kindCounter:
+		fmt.Fprintf(bw, "%s%s %d\n", f.name, lbl, ch.c.Value())
+	case kindGauge:
+		fmt.Fprintf(bw, "%s%s %s\n", f.name, lbl, formatFloat(ch.g.Value()))
+	case kindGaugeFunc:
+		fmt.Fprintf(bw, "%s%s %s\n", f.name, lbl, formatFloat(ch.fn()))
+	case kindHistogram:
+		h := ch.h
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bucketLabels(f.label, ch.labelValue, formatFloat(b)), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bucketLabels(f.label, ch.labelValue, "+Inf"), cum)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, lbl, formatFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count%s %d\n", f.name, lbl, h.Count())
+	}
+}
+
+func bucketLabels(label, value, le string) string {
+	if label == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("{%s=%q,le=%q}", label, value, le)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip form, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the text-format spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ValidateExposition checks a Prometheus text-format stream: every sample
+// line must parse (name, optional one-level labels, float value), names must
+// match the # TYPE declarations, histogram buckets must be cumulative with
+// increasing le bounds ending at +Inf, and _count must equal the +Inf
+// bucket. It returns the number of metric families seen. Like the obs/stats
+// validators it is strict on structure so CI can gate on it.
+func ValidateExposition(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	types := map[string]string{}
+	// histState tracks one histogram child's bucket walk, keyed by family
+	// plus non-le labels.
+	type histState struct {
+		lastLe  float64
+		lastCum uint64
+		infCum  uint64
+		hasInf  bool
+	}
+	hists := map[string]*histState{}
+	counts := map[string]uint64{}
+	lineNo, samples := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return len(types), fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return len(types), fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return len(types), fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		// Resolve the family: an exact name match wins (a gauge may be
+		// literally named foo_count); otherwise peel a histogram suffix.
+		base, suffix := name, ""
+		typ, declared := types[name]
+		if !declared {
+			base, suffix = splitSuffix(name)
+			typ, declared = types[base]
+		}
+		if !declared {
+			// Samples before any TYPE line are legal exposition (untyped),
+			// but this writer always declares; hold it to its own schema.
+			return len(types), fmt.Errorf("line %d: sample %q has no # TYPE line", lineNo, name)
+		}
+		switch {
+		case typ == "histogram" && suffix == "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return len(types), fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			leV, err := parseLe(le)
+			if err != nil {
+				return len(types), fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			key := base + "|" + labelKeyWithout(labels, "le")
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: math.Inf(-1)}
+				hists[key] = st
+			}
+			cum := uint64(value)
+			if float64(cum) != value || value < 0 {
+				return len(types), fmt.Errorf("line %d: bucket count %v not a non-negative integer", lineNo, value)
+			}
+			if leV <= st.lastLe {
+				return len(types), fmt.Errorf("line %d: bucket le %q not increasing", lineNo, le)
+			}
+			if cum < st.lastCum {
+				return len(types), fmt.Errorf("line %d: bucket counts not cumulative (%d < %d)", lineNo, cum, st.lastCum)
+			}
+			st.lastLe, st.lastCum = leV, cum
+			if math.IsInf(leV, 1) {
+				st.hasInf, st.infCum = true, cum
+			}
+		case typ == "histogram" && suffix == "_count":
+			key := base + "|" + labelKeyWithout(labels, "le")
+			counts[key] = uint64(value)
+		case typ == "histogram" && suffix == "_sum":
+			// Any float is fine.
+		case typ == "histogram":
+			return len(types), fmt.Errorf("line %d: histogram sample %q without _bucket/_sum/_count suffix", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return len(types), err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("exposition: no samples")
+	}
+	for key, st := range hists {
+		if !st.hasInf {
+			return len(types), fmt.Errorf("histogram %s: no +Inf bucket", strings.SplitN(key, "|", 2)[0])
+		}
+		if c, ok := counts[key]; ok && c != st.infCum {
+			return len(types), fmt.Errorf("histogram %s: _count %d != +Inf bucket %d",
+				strings.SplitN(key, "|", 2)[0], c, st.infCum)
+		}
+	}
+	return len(types), nil
+}
+
+// parseSample splits `name{l1="v1",...} value [timestamp]` into parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("sample line %q has no value", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !validName(strings.TrimSuffix(name, ":")) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	valueField := strings.Fields(rest)
+	if len(valueField) < 1 || len(valueField) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	v, err := parseValue(valueField[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		val, remainder, err := scanQuoted(rest)
+		if err != nil {
+			return fmt.Errorf("label %q: %v", key, err)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(remainder), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// scanQuoted consumes a double-quoted string with \\, \" and \n escapes.
+func scanQuoted(s string) (val, rest string, err error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return sb.String(), s[i+1:], nil
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// splitSuffix peels a histogram sample suffix off a metric name.
+func splitSuffix(name string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+// labelKeyWithout renders labels (minus one key) as a stable identity string.
+func labelKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+	}
+	return sb.String()
+}

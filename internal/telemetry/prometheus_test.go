@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("nocd_cache_hits_total", "submissions answered from the result cache").Add(3)
+	r.Gauge("nocd_queue_length", "jobs waiting for a worker").Set(2)
+	r.GaugeFunc("nocd_cache_entries", "cached results", func() float64 { return 7 })
+	h := r.Histogram("nocd_queue_wait_seconds", "enqueue to dequeue", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	v := r.HistogramVec("nocd_run_seconds", "simulation wall time", "scheme", []float64{1, 10})
+	v.With("pseudo+s+b").Observe(0.5)
+	v.With("baseline").Observe(20)
+	return r
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE nocd_cache_hits_total counter",
+		"nocd_cache_hits_total 3",
+		"# TYPE nocd_queue_length gauge",
+		"nocd_queue_length 2",
+		"nocd_cache_entries 7",
+		"# TYPE nocd_queue_wait_seconds histogram",
+		`nocd_queue_wait_seconds_bucket{le="0.01"} 1`,
+		`nocd_queue_wait_seconds_bucket{le="0.1"} 2`,
+		`nocd_queue_wait_seconds_bucket{le="1"} 2`,
+		`nocd_queue_wait_seconds_bucket{le="+Inf"} 3`,
+		"nocd_queue_wait_seconds_count 3",
+		`nocd_run_seconds_bucket{scheme="pseudo+s+b",le="1"} 1`,
+		`nocd_run_seconds_bucket{scheme="baseline",le="+Inf"} 1`,
+		`nocd_run_seconds_count{scheme="baseline"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, err := ValidateExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, buf.String())
+	}
+	if families != 5 {
+		t.Fatalf("validated %d families, want 5", families)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no samples":         "# TYPE a counter\n",
+		"untyped sample":     "a_total 3\n",
+		"bad value":          "# TYPE a counter\na three\n",
+		"bad name":           "# TYPE a counter\n9a 3\n",
+		"unterminated label": "# TYPE a gauge\na{x=\"y 3\n",
+		"dup TYPE":           "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"le not increasing": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count != +Inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, doc)
+		}
+	}
+	// A gauge literally named like a histogram suffix must not be
+	// misattributed to a histogram family.
+	ok := "# TYPE foo_count gauge\nfoo_count 3\n"
+	if _, err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("gauge named foo_count rejected: %v", err)
+	}
+}
+
+// Percentile interpolation at bucket edges (satellite): ranks landing
+// exactly on a bucket boundary must report the boundary, interior ranks
+// interpolate linearly, and the degenerate shapes (empty, single-bucket,
+// overflow-only) stay finite.
+func TestHistogramPercentileEdges(t *testing.T) {
+	mk := func() *Histogram { return newHistogram([]float64{10, 20, 40}) }
+
+	t.Run("empty", func(t *testing.T) {
+		if p := mk().Percentile(99); p != 0 {
+			t.Fatalf("empty histogram p99 = %v, want 0", p)
+		}
+	})
+
+	t.Run("exact bucket edge", func(t *testing.T) {
+		h := mk()
+		for i := 0; i < 4; i++ {
+			h.Observe(5) // all in (0,10]
+		}
+		// Every rank is inside the first bucket; p100's rank (4) sits at the
+		// bucket's top edge and must report exactly the upper bound.
+		if p := h.Percentile(100); p != 10 {
+			t.Fatalf("p100 = %v, want exactly the bucket edge 10", p)
+		}
+		// p25 -> rank 1 of 4 -> a quarter of the way through (0,10].
+		if p := h.Percentile(25); p != 2.5 {
+			t.Fatalf("p25 = %v, want 2.5", p)
+		}
+	})
+
+	t.Run("interpolates interior bucket", func(t *testing.T) {
+		h := mk()
+		h.Observe(5)  // bucket (0,10]
+		h.Observe(15) // bucket (10,20]
+		h.Observe(15)
+		h.Observe(15)
+		// rank(50) = ceil(0.5*4) = 2 -> first of the three in (10,20]:
+		// 10 + 10 * (2-1)/3.
+		want := 10 + 10*(1.0/3)
+		if p := h.Percentile(50); math.Abs(p-want) > 1e-12 {
+			t.Fatalf("p50 = %v, want %v", p, want)
+		}
+		// rank(100) = 4 -> top of (10,20] -> exactly 20.
+		if p := h.Percentile(100); p != 20 {
+			t.Fatalf("p100 = %v, want 20", p)
+		}
+	})
+
+	t.Run("overflow bucket clamps", func(t *testing.T) {
+		h := mk()
+		h.Observe(1000)
+		if p := h.Percentile(50); p != 40 {
+			t.Fatalf("overflow p50 = %v, want highest finite bound 40", p)
+		}
+	})
+
+	t.Run("p0 clamps to rank 1", func(t *testing.T) {
+		h := mk()
+		h.Observe(5)
+		h.Observe(35)
+		// p0 clamps to rank 1: the single first-bucket sample occupies its
+		// whole bucket (frac 1), so the estimate is that bucket's top edge.
+		if p := h.Percentile(0); p != 10 {
+			t.Fatalf("p0 = %v, want first bucket edge 10", p)
+		}
+	})
+
+	t.Run("quantile order", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i) * 0.001)
+		}
+		p50, p90, p99 := h.Quantiles()
+		if !(p50 <= p90 && p90 <= p99) {
+			t.Fatalf("quantiles not monotone: %v %v %v", p50, p90, p99)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pseudocircuit/internal/obs"
+)
+
+// Span is one closed interval of a job's lifecycle on the service's
+// wall-clock timeline: the queue wait between enqueue and dequeue, the run
+// itself, a cache lookup (duration ~0), a cancellation request or the
+// daemon-wide drain. Spans are observations of scheduling, never of
+// simulated time — simulation results are bit-identical with span recording
+// on, because nothing reads the log back.
+type Span struct {
+	Name    string // "queue-wait", "run", "cache-hit", "cache-miss", "coalesced", "cancel", "drain"
+	Job     string // job ID, empty for daemon-scoped spans
+	Key     string // canonical spec hash (may be truncated for display)
+	Scheme  string // canonical scheme name, for per-scheme slicing
+	Outcome string // terminal disposition: "done", "failed", "canceled", ...
+	Start   time.Time
+	End     time.Time
+}
+
+// Duration returns the span length (zero for instant spans).
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// SpanLog is a bounded, concurrency-safe ring of Spans. Unlike the
+// simulation tracer (single-goroutine by contract) the service records spans
+// from every worker, so the ring takes a mutex — spans close at job
+// granularity (a handful per job), never per cycle, so the lock is cold.
+// When the ring fills, the oldest spans are evicted and counted in Dropped.
+type SpanLog struct {
+	mu      sync.Mutex
+	ring    []Span
+	head    int
+	dropped uint64
+	base    time.Time // export timestamps are offsets from here
+}
+
+// NewSpanLog returns a log retaining up to capacity spans, with export
+// timestamps relative to now.
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		panic("telemetry: span log capacity must be positive")
+	}
+	return &SpanLog{ring: make([]Span, 0, capacity), base: time.Now()}
+}
+
+// Record appends one span, evicting the oldest when the ring is full.
+func (l *SpanLog) Record(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, s)
+		return
+	}
+	l.ring[l.head] = s
+	l.head = (l.head + 1) % len(l.ring)
+	l.dropped++
+}
+
+// Len returns the number of retained spans.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Dropped returns how many spans were evicted by the ring bound.
+func (l *SpanLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Spans returns the retained spans in recording order (a copy; safe to
+// keep). Reporting-path only: it allocates.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.ring))
+	out = append(out, l.ring[l.head:]...)
+	out = append(out, l.ring[:l.head]...)
+	return out
+}
+
+// spanJSON is the strict JSONL wire form of a Span. Timestamps are
+// microseconds since the log's base so the stream lines up with the Chrome
+// export's ts axis.
+type spanJSON struct {
+	Span    string `json:"span"`
+	Job     string `json:"job"`
+	Key     string `json:"key"`
+	Scheme  string `json:"scheme"`
+	Outcome string `json:"outcome"`
+	StartUs int64  `json:"startUs"`
+	DurUs   int64  `json:"durUs"`
+}
+
+// WriteJSONL writes the retained spans as one JSON object per line, in
+// recording order.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	l.mu.Lock()
+	base := l.base
+	l.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range l.Spans() {
+		line := spanJSON{
+			Span: s.Name, Job: s.Job, Key: s.Key, Scheme: s.Scheme, Outcome: s.Outcome,
+			StartUs: s.Start.Sub(base).Microseconds(),
+			DurUs:   s.Duration().Microseconds(),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateSpansJSONL checks a span JSONL stream: every line must strictly
+// decode as a spanJSON with a non-empty span name and non-negative
+// start/duration. Spans are recorded at close time by concurrent workers, so
+// no ordering is required. It returns the number of spans validated.
+func ValidateSpansJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		n++
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var s spanJSON
+		if err := dec.Decode(&s); err != nil {
+			return n, fmt.Errorf("span line %d: %v", n, err)
+		}
+		if s.Span == "" {
+			return n, fmt.Errorf("span line %d: empty span name", n)
+		}
+		if s.StartUs < 0 || s.DurUs < 0 {
+			return n, fmt.Errorf("span line %d: negative time (start %d, dur %d)", n, s.StartUs, s.DurUs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("spans: empty stream")
+	}
+	return n, nil
+}
+
+// ServicePid is the trace_event process ID service spans render under —
+// far above the router pids and the NI pid base of the flit-lifecycle
+// export, so one merged timeline keeps its lanes distinct.
+const ServicePid = 1 << 21
+
+type spanArgs struct {
+	Job     string `json:"job"`
+	Key     string `json:"key"`
+	Scheme  string `json:"scheme"`
+	Outcome string `json:"outcome"`
+}
+
+// WriteChromeTrace writes the retained spans in the same Chrome trace_event
+// form as the flit-lifecycle tracer (internal/obs): complete "X" slices
+// under a "nocd service" process, one thread lane per job. Ts is
+// microseconds since the log's base — the same axis as WriteJSONL.
+func (l *SpanLog) WriteChromeTrace(w io.Writer) error {
+	l.mu.Lock()
+	base := l.base
+	l.mu.Unlock()
+	cw, err := obs.NewChromeWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := cw.NameProcess(ServicePid, "nocd service"); err != nil {
+		return err
+	}
+	for _, s := range l.Spans() {
+		name := s.Name
+		if s.Outcome != "" {
+			name += " " + s.Outcome
+		}
+		ph, dur := "X", s.Duration().Microseconds()
+		scope := ""
+		if dur <= 0 {
+			// Instant spans (cache lookups, cancels) as thread-scoped marks.
+			ph, dur, scope = "i", 0, "t"
+		}
+		if err := cw.Event(obs.ChromeEvent{
+			Name: name, Ph: ph,
+			Ts: s.Start.Sub(base).Microseconds(), Dur: dur,
+			Pid: ServicePid, Tid: spanLane(s.Job), S: scope,
+			Args: spanArgs{Job: s.Job, Key: shortKey(s.Key), Scheme: s.Scheme, Outcome: s.Outcome},
+		}); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// spanLane maps a job ID ("j42") to its thread lane; daemon-scoped spans
+// (drain) share lane 0.
+func spanLane(job string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(job, "j"), 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// shortKey truncates a spec hash for display.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
 	"pseudocircuit/noc"
@@ -36,16 +37,24 @@ type Request struct {
 // Job mirrors the daemon's job snapshot. State is one of "queued",
 // "running", "done", "failed", "canceled".
 type Job struct {
-	ID          string      `json:"id"`
-	Key         string      `json:"key"`
-	State       string      `json:"state"`
-	CacheHit    bool        `json:"cacheHit"`
-	Dedup       bool        `json:"dedup"`
-	CyclesDone  int         `json:"cyclesDone"`
-	CyclesTotal int         `json:"cyclesTotal"`
-	Request     Request     `json:"request"`
-	Result      *noc.Result `json:"result,omitempty"`
-	Error       string      `json:"error,omitempty"`
+	ID          string `json:"id"`
+	Key         string `json:"key"`
+	State       string `json:"state"`
+	CacheHit    bool   `json:"cacheHit"`
+	Dedup       bool   `json:"dedup"`
+	CyclesDone  int    `json:"cyclesDone"`
+	CyclesTotal int    `json:"cyclesTotal"`
+	// QueueWaitMS and RunMS are the daemon-side wall times the job spent
+	// waiting for a worker and simulating; both zero for cache hits.
+	QueueWaitMS float64 `json:"queueWaitMs"`
+	RunMS       float64 `json:"runMs"`
+	// CyclesPerSec is the simulation rate; ETASeconds estimates the time
+	// remaining and is present only while the job is running.
+	CyclesPerSec float64     `json:"cyclesPerSec,omitempty"`
+	ETASeconds   float64     `json:"etaSeconds,omitempty"`
+	Request      Request     `json:"request"`
+	Result       *noc.Result `json:"result,omitempty"`
+	Error        string      `json:"error,omitempty"`
 }
 
 // Terminal reports whether the job has finished (successfully or not).
@@ -114,6 +123,30 @@ type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+
+	attempts     atomic.Uint64 // HTTP attempts issued, including retries
+	retries      atomic.Uint64 // attempts beyond the first per operation
+	backoffNanos atomic.Uint64 // total time slept between attempts
+}
+
+// RetryStats is a snapshot of the client's cumulative retry activity.
+type RetryStats struct {
+	// Attempts counts every HTTP attempt issued, including first tries.
+	Attempts uint64
+	// Retries counts attempts beyond the first per operation.
+	Retries uint64
+	// Backoff is the total time spent sleeping between attempts.
+	Backoff time.Duration
+}
+
+// RetryStats returns the client's cumulative retry counters. Safe for
+// concurrent use; counters only grow over the client's lifetime.
+func (c *Client) RetryStats() RetryStats {
+	return RetryStats{
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		Backoff:  time.Duration(c.backoffNanos.Load()),
+	}
 }
 
 // New returns a client for the daemon at base (e.g. "http://localhost:8080").
@@ -170,13 +203,20 @@ func (c *Client) doRetry(ctx context.Context, mk func() (*http.Request, error), 
 		if err != nil {
 			return err
 		}
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		err = c.do(req, out)
 		if err == nil || attempt+1 >= c.retry.MaxAttempts || !retryable(err) {
 			return err
 		}
+		wait := c.retry.delay(attempt)
+		slept := time.Now()
 		select {
-		case <-time.After(c.retry.delay(attempt)):
+		case <-time.After(wait):
+			c.backoffNanos.Add(uint64(wait))
 		case <-ctx.Done():
+			c.backoffNanos.Add(uint64(time.Since(slept)))
 			return err
 		}
 	}
@@ -265,6 +305,7 @@ func (c *Client) Health(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	c.attempts.Add(1)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -286,6 +327,7 @@ func (c *Client) get(ctx context.Context, path string) (Job, error) {
 // do executes the request and decodes a 2xx body into out, or a non-2xx
 // {"error": ...} body into an APIError.
 func (c *Client) do(req *http.Request, out any) error {
+	c.attempts.Add(1)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

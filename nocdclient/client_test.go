@@ -217,3 +217,59 @@ func TestRetryDelayBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryStats: the cumulative counters track attempts, retries and
+// backoff across operations, and a clean run records zero retries.
+func TestRetryStats(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		serveJob(w, "done")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL).WithRetry(fastRetry)
+	if s := c.RetryStats(); s != (RetryStats{}) {
+		t.Fatalf("fresh client stats = %+v, want zero", s)
+	}
+	if _, err := c.Submit(context.Background(), testRequest()); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	s := c.RetryStats()
+	if s.Attempts != 3 || s.Retries != 2 {
+		t.Fatalf("after 503,503,200: %+v, want 3 attempts / 2 retries", s)
+	}
+	if s.Backoff <= 0 {
+		t.Fatalf("backoff = %v, want > 0 after 2 sleeps", s.Backoff)
+	}
+
+	// A clean second submission adds one attempt and no retries.
+	if _, err := c.Submit(context.Background(), testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := c.RetryStats()
+	if s2.Attempts != 4 || s2.Retries != 2 || s2.Backoff != s.Backoff {
+		t.Fatalf("after clean submit: %+v (was %+v)", s2, s)
+	}
+}
+
+// TestJobTimingFields: the client decodes the daemon's timing fields.
+func TestJobTimingFields(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"j1","state":"running","queueWaitMs":1.5,"runMs":250.25,` +
+			`"cyclesPerSec":120000,"etaSeconds":4.5}`))
+	}))
+	defer srv.Close()
+
+	j, err := New(srv.URL).Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.QueueWaitMS != 1.5 || j.RunMS != 250.25 || j.CyclesPerSec != 120000 || j.ETASeconds != 4.5 {
+		t.Fatalf("timing fields: %+v", j)
+	}
+}
