@@ -8,18 +8,24 @@ import (
 	"time"
 
 	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/sweepapi"
 	"pseudocircuit/internal/telemetry"
 )
 
 // maxBodyBytes bounds a job-submission body; specs are a few hundred bytes.
+// Sweep bodies carry a grid on top of the template and stay well under it.
 const maxBodyBytes = 1 << 20
 
 // watchInterval paces the NDJSON progress stream of GET /jobs/{id}?watch=1.
 const watchInterval = 250 * time.Millisecond
 
+// sweepWatchInterval paces sweep result streams. Sweeps complete many small
+// points per second on a warm cache, so they poll faster than job watch.
+const sweepWatchInterval = 100 * time.Millisecond
+
 // newMux builds the service API. main adds the /debug/ subtree and the
 // request-log middleware; tests serve this mux directly.
-func newMux(m *service.Manager) *http.ServeMux {
+func newMux(m *service.Manager, sw *sweepapi.Manager) *http.ServeMux {
 	mux := http.NewServeMux()
 	// /healthz is liveness only: the process is up and serving. Readiness
 	// (would a submission be accepted right now?) is /readyz, which load
@@ -69,7 +75,157 @@ func newMux(m *service.Manager) *http.ServeMux {
 	}
 	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+
+	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepSubmit(sw, w, r)
+	})
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sw.Sweeps())
+	})
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepStatus(sw, w, r)
+	})
+	sweepCancel := func(w http.ResponseWriter, r *http.Request) {
+		st, err := sw.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+	mux.HandleFunc("POST /sweeps/{id}/cancel", sweepCancel)
+	mux.HandleFunc("DELETE /sweeps/{id}", sweepCancel)
 	return mux
+}
+
+// sweepLine is one line of the sweep NDJSON stream: a leading "sweep" line
+// with the accepted sweep, one "point" line per completed grid point in
+// completion order, and a final "end" line with the terminal status. A
+// stream that stops without an "end" line was cut off, and clients must
+// treat it so.
+type sweepLine struct {
+	Type  string                `json:"type"`
+	Sweep *sweepapi.Status      `json:"sweep,omitempty"`
+	Point *sweepapi.PointStatus `json:"point,omitempty"`
+}
+
+func handleSweepSubmit(sw *sweepapi.Manager, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body over 1 MiB"))
+		return
+	}
+	st, err := sw.Submit(body)
+	switch {
+	case errors.Is(err, service.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, service.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case q.Get("watch") != "":
+		streamSweep(sw, w, r, st.ID)
+	case q.Get("wait") != "":
+		fin, err := sw.Wait(r.Context(), st.ID)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; the sweep keeps running
+			}
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fin)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func handleSweepStatus(sw *sweepapi.Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := sw.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, sweepapi.ErrUnknownSweep)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case q.Get("watch") != "":
+		streamSweep(sw, w, r, id)
+	case q.Get("wait") != "":
+		fin, err := sw.Wait(r.Context(), id)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fin)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// streamSweep replays the sweep's completed points from the beginning and
+// follows it live as NDJSON until the terminal status ("end" line) or the
+// client disconnects. Disconnecting does not cancel the sweep — results
+// keep accumulating in the cache and a reconnect replays them all; use the
+// cancel endpoint to stop the work itself.
+func streamSweep(sw *sweepapi.Manager, w http.ResponseWriter, r *http.Request, id string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(sweepWatchInterval)
+	defer ticker.Stop()
+
+	st, ok := sw.Get(id)
+	if !ok {
+		return
+	}
+	if err := enc.Encode(sweepLine{Type: "sweep", Sweep: &st}); err != nil {
+		return
+	}
+	cursor := 0
+	for {
+		pts, next, st, ok := sw.PointsSince(id, cursor)
+		if !ok {
+			return
+		}
+		cursor = next
+		for i := range pts {
+			if err := enc.Encode(sweepLine{Type: "point", Point: &pts[i]}); err != nil {
+				return
+			}
+		}
+		if flusher != nil && len(pts) > 0 {
+			flusher.Flush()
+		}
+		// Terminal status means every point is published; with the cursor
+		// caught up the stream is complete.
+		if st.Terminal() && cursor == st.Completed {
+			enc.Encode(sweepLine{Type: "end", Sweep: &st})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 func handleSubmit(m *service.Manager, w http.ResponseWriter, r *http.Request) {

@@ -21,7 +21,7 @@ func testServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Ma
 		cfg.Chunk = 100
 	}
 	m := service.New(cfg)
-	srv := httptest.NewServer(newMux(m))
+	srv := httptest.NewServer(newMux(m, newTestSweeps(t, m)))
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -339,7 +339,7 @@ func TestDaemonWaitClientDisconnect(t *testing.T) {
 		defer cancel()
 		m.Shutdown(ctx)
 	}()
-	mux := newMux(m)
+	mux := newMux(m, newTestSweeps(t, m))
 
 	long := smallReq(8)
 	long.Spec.Measure = 8_000_000

@@ -1,0 +1,435 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/cluster"
+	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/store"
+	"pseudocircuit/internal/sweepapi"
+	"pseudocircuit/noc"
+	"pseudocircuit/nocdclient"
+)
+
+// newTestSweeps builds a sweep manager over m with its shutdown tied to the
+// test; every mux in tests gets one, mirroring main.
+func newTestSweeps(t *testing.T, m *service.Manager) *sweepapi.Manager {
+	t.Helper()
+	return newTestSweepsWith(t, m, sweepapi.Config{})
+}
+
+func newTestSweepsWith(t *testing.T, m *service.Manager, cfg sweepapi.Config) *sweepapi.Manager {
+	t.Helper()
+	sw := sweepapi.New(m, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sw.Shutdown(ctx)
+	})
+	return sw
+}
+
+const sweepBody = `{
+  "template": {"topology":"mesh4x4","scheme":"baseline","va":"static",
+               "warmup":50,"measure":200,
+               "workload":{"pattern":"uniform","rate":0.1}},
+  "axes": {"scheme": ["baseline","pseudo"], "seed": [1,2,3]}}`
+
+// postSweepStream submits a sweep with ?watch=1 and decodes the NDJSON
+// stream into its typed lines, failing the test on protocol violations.
+func postSweepStream(t *testing.T, base, body string) (first, last sweepapi.Status, points []sweepapi.PointStatus) {
+	t.Helper()
+	resp, err := http.Post(base+"/sweeps?watch=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n, ended := 0, false
+	for sc.Scan() {
+		var line struct {
+			Type  string                `json:"type"`
+			Sweep *sweepapi.Status      `json:"sweep"`
+			Point *sweepapi.PointStatus `json:"point"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %d: %v: %s", n, err, sc.Text())
+		}
+		switch line.Type {
+		case "sweep":
+			if n != 0 || line.Sweep == nil {
+				t.Fatalf("line %d: stray sweep line", n)
+			}
+			first = *line.Sweep
+		case "point":
+			if line.Point == nil || ended {
+				t.Fatalf("line %d: malformed point line", n)
+			}
+			points = append(points, *line.Point)
+		case "end":
+			if line.Sweep == nil || ended {
+				t.Fatalf("line %d: malformed end line", n)
+			}
+			last, ended = *line.Sweep, true
+		default:
+			t.Fatalf("line %d: unknown type %q", n, line.Type)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !ended {
+		t.Fatal("stream ended without an end line")
+	}
+	return first, last, points
+}
+
+// TestSweepEndpointStreams: POST /sweeps?watch=1 streams every point and a
+// terminal status, each result bit-identical to a direct experiment run.
+func TestSweepEndpointStreams(t *testing.T) {
+	srv, _, _ := testServer(t, service.Config{Workers: 2})
+	first, last, points := postSweepStream(t, srv.URL, sweepBody)
+	if first.Points != 6 || first.State != "running" {
+		t.Fatalf("first line: %+v", first)
+	}
+	if last.State != "done" || last.Done != 6 || last.Completed != 6 {
+		t.Fatalf("end line: %+v", last)
+	}
+	if len(points) != 6 {
+		t.Fatalf("streamed %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.State != "done" || p.Result == nil {
+			t.Fatalf("point %d: %+v", p.Index, p)
+		}
+		exp, err := p.Spec.Spec.Experiment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: p.Spec.Workload.Rate})
+		got, _ := json.Marshal(*p.Result)
+		wantB, _ := json.Marshal(want)
+		if string(got) != string(wantB) {
+			t.Fatalf("point %d diverged from direct run:\nsweep:  %s\ndirect: %s", p.Index, got, wantB)
+		}
+	}
+}
+
+// TestSweepEndpointRejects: hostile grids get explicit 400s, oversized
+// expansion included; nothing is retained.
+func TestSweepEndpointRejects(t *testing.T) {
+	srv, _, _ := testServer(t, service.Config{Workers: 1})
+	cases := []string{
+		`{"axes":{"seed":[1]}}`,
+		`{"template":{"topology":"mesh4x4"},"axes":{"seed":[1],"seed":[2]}}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []sweepapi.Status
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 0 {
+		t.Fatalf("rejected sweeps retained: %+v", list)
+	}
+	if resp, err := http.Get(srv.URL + "/sweeps/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestSweepEndpointCancel: DELETE /sweeps/{id} lands the sweep in the
+// canceled state with point accounting closed.
+func TestSweepEndpointCancel(t *testing.T) {
+	srv, _, _ := testServer(t, service.Config{Workers: 1})
+	body := `{
+	  "template": {"topology":"mesh8x8","scheme":"pseudo","va":"static",
+	               "warmup":100,"measure":20000,
+	               "workload":{"pattern":"uniform","rate":0.05}},
+	  "axes": {"seed": [1,2,3,4,5,6,7,8]}}`
+	resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sweepapi.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/"+st.ID, nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/sweeps/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never terminated: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != "canceled" || st.Canceled == 0 || st.Completed != st.Points {
+		t.Fatalf("canceled sweep: %+v", st)
+	}
+}
+
+// TestClientSweepEndToEnd drives a sweep through nocdclient's streaming
+// iterator against the real daemon mux: acceptance line, every point,
+// io.EOF with the terminal status.
+func TestClientSweepEndToEnd(t *testing.T) {
+	_, _, c := testServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stream, err := c.SubmitSweep(ctx, nocdclient.SweepRequest{
+		Template: smallReq(0),
+		Axes: map[string][]any{
+			"scheme": {"baseline", "pseudo"},
+			"seed":   {1, 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if got := stream.Sweep(); got.Points != 4 || got.ID == "" {
+		t.Fatalf("acceptance: %+v", got)
+	}
+	seen := map[string]bool{}
+	for {
+		p, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.State != "done" || p.Result == nil {
+			t.Fatalf("point %d: %+v", p.Index, p)
+		}
+		if seen[p.Key] {
+			t.Fatalf("point key %s streamed twice", p.Key)
+		}
+		seen[p.Key] = true
+		// The streamed result matches a direct job fetch of the same spec.
+		j, err := c.SubmitWait(ctx, p.Spec)
+		if err != nil || !j.CacheHit {
+			t.Fatalf("point %d re-fetch: %+v %v", p.Index, j, err)
+		}
+		got, _ := json.Marshal(*p.Result)
+		want, _ := json.Marshal(*j.Result)
+		if string(got) != string(want) {
+			t.Fatalf("point %d diverged from the job API", p.Index)
+		}
+	}
+	fin, ok := stream.Final()
+	if !ok || fin.State != "done" || fin.Done != 4 || len(seen) != 4 {
+		t.Fatalf("final: ok %v %+v, %d distinct points", ok, fin, len(seen))
+	}
+}
+
+// TestSweepServedFromRestartedStore is the acceptance test for the
+// persistence tier at the daemon level: a sweep runs against one daemon
+// with a disk store, the daemon is torn down, and a fresh daemon on the
+// same directory serves the identical sweep entirely from disk — zero
+// simulations, confirmed by the store-hit metric and the cycle counter.
+func TestSweepServedFromRestartedStore(t *testing.T) {
+	dir := t.TempDir()
+	openDaemon := func() (*httptest.Server, *service.Manager, func()) {
+		st, err := store.Open(dir, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := service.New(service.Config{Workers: 2, Chunk: 100, Store: st})
+		sw := sweepapi.New(m, sweepapi.Config{})
+		srv := httptest.NewServer(newMux(m, sw))
+		stop := func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			sw.Shutdown(ctx)
+			m.Shutdown(ctx)
+		}
+		return srv, m, stop
+	}
+
+	srv1, _, stop1 := openDaemon()
+	_, last1, points1 := postSweepStream(t, srv1.URL, sweepBody)
+	if last1.State != "done" || last1.Done != 6 || last1.StoreHits != 0 {
+		t.Fatalf("first sweep: %+v", last1)
+	}
+	stop1()
+
+	srv2, m2, stop2 := openDaemon()
+	defer stop2()
+	_, last2, points2 := postSweepStream(t, srv2.URL, sweepBody)
+	if last2.State != "done" || last2.Done != 6 {
+		t.Fatalf("restarted sweep: %+v", last2)
+	}
+	if last2.StoreHits != 6 || last2.CacheHits != 6 {
+		t.Fatalf("restarted sweep not served from disk: %+v", last2)
+	}
+	if got := m2.Stats()["store_hits"]; got != 6 {
+		t.Fatalf("store_hits = %d, want 6", got)
+	}
+
+	// Bit-identical across the restart, point by point (stream order may
+	// differ; match by key).
+	byKey := map[string]string{}
+	for _, p := range points1 {
+		b, _ := json.Marshal(*p.Result)
+		byKey[p.Key] = string(b)
+	}
+	for _, p := range points2 {
+		b, _ := json.Marshal(*p.Result)
+		if byKey[p.Key] != string(b) {
+			t.Fatalf("point key %s diverged across restart", p.Key)
+		}
+	}
+
+	// The exposition confirms what the driver's persistence smoke asserts:
+	// hits counted, zero cycles simulated since the restart.
+	resp, err := http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	metrics := map[string]string{}
+	for sc.Scan() {
+		if f := strings.Fields(sc.Text()); len(f) == 2 && !strings.HasPrefix(f[0], "#") {
+			metrics[f[0]] = f[1]
+		}
+	}
+	if metrics["nocd_store_hits_total"] != "6" {
+		t.Fatalf("nocd_store_hits_total = %q, want 6", metrics["nocd_store_hits_total"])
+	}
+	if metrics["nocd_cycles_simulated_total"] != "0" {
+		t.Fatalf("restarted daemon simulated cycles: %q", metrics["nocd_cycles_simulated_total"])
+	}
+}
+
+// TestTwoNodeSweepDispatch is the fleet acceptance test: two daemons, each
+// listing the other as a peer, split a sweep's grid by consistent hashing —
+// every point simulated exactly once across the fleet, results identical to
+// a direct run. Node A receives the sweep; node B serves its share over
+// HTTP.
+func TestTwoNodeSweepDispatch(t *testing.T) {
+	// Node B first: a plain daemon; its URL seeds node A's peer list.
+	mB := service.New(service.Config{Workers: 2, Chunk: 100})
+	swB := sweepapi.New(mB, sweepapi.Config{})
+	srvB := httptest.NewServer(newMux(mB, swB))
+	defer func() {
+		srvB.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		swB.Shutdown(ctx)
+		mB.Shutdown(ctx)
+	}()
+
+	// Node A: dispatches across {A, B}. Its own name never appears in a
+	// request, so any spelling works as long as it is ring-distinct.
+	mA := service.New(service.Config{Workers: 2, Chunk: 100})
+	d, err := cluster.New(cluster.Config{
+		Self: "http://node-a", Peers: []string{srvB.URL},
+		Replicas: 2, Telemetry: mA.Telemetry(), Spans: mA.SpanLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swA := sweepapi.New(mA, sweepapi.Config{Dispatcher: d})
+	srvA := httptest.NewServer(newMux(mA, swA))
+	defer func() {
+		srvA.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		swA.Shutdown(ctx)
+		mA.Shutdown(ctx)
+	}()
+
+	body := `{
+	  "template": {"topology":"mesh4x4","scheme":"baseline","va":"static",
+	               "warmup":50,"measure":200,
+	               "workload":{"pattern":"uniform","rate":0.1}},
+	  "axes": {"scheme": ["baseline","pseudo"], "seed": [1,2,3,4,5,6,7,8]}}`
+	_, last, points := postSweepStream(t, srvA.URL, body)
+	if last.State != "done" || last.Done != 16 {
+		t.Fatalf("sweep: %+v", last)
+	}
+
+	aRan := mA.Stats()["completed"]
+	bRan := mB.Stats()["completed"]
+	if aRan+bRan != 16 || aRan == 0 || bRan == 0 {
+		t.Fatalf("fleet ran %d+%d jobs; want all 16 split across both nodes", aRan, bRan)
+	}
+	if last.Remote != int(bRan) {
+		t.Fatalf("sweep counted %d remote points, node B ran %d", last.Remote, bRan)
+	}
+
+	remotes := 0
+	for _, p := range points {
+		if p.Source == "remote" {
+			remotes++
+		}
+		exp, err := p.Spec.Spec.Experiment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: p.Spec.Workload.Rate})
+		got, _ := json.Marshal(*p.Result)
+		wantB, _ := json.Marshal(want)
+		if string(got) != string(wantB) {
+			t.Fatalf("point %d (%s seed %d) diverged from direct run",
+				p.Index, p.Spec.Scheme, p.Spec.Seed)
+		}
+	}
+	if remotes != int(bRan) {
+		t.Fatalf("%d points marked remote, node B ran %d", remotes, bRan)
+	}
+}

@@ -74,7 +74,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // manager is draining; /healthz stays 200 throughout (liveness only).
 func TestReadyzDraining(t *testing.T) {
 	m := service.New(service.Config{Workers: 1, Chunk: 100})
-	srv := httptest.NewServer(newMux(m))
+	srv := httptest.NewServer(newMux(m, newTestSweeps(t, m)))
 	defer srv.Close()
 
 	if resp, _ := get(t, srv.URL+"/readyz"); resp.StatusCode != http.StatusOK {
@@ -147,7 +147,7 @@ func TestRequestLogMiddleware(t *testing.T) {
 	}()
 	var logBuf bytes.Buffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
-	srv := httptest.NewServer(requestLog(logger, newMux(m)))
+	srv := httptest.NewServer(requestLog(logger, newMux(m, newTestSweeps(t, m))))
 	defer srv.Close()
 
 	body := `{"topology":"mesh4x4","scheme":"pseudo+s+b","va":"static","warmup":100,"measure":400,` +

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/sweepapi"
+	"pseudocircuit/internal/telemetry"
+	"pseudocircuit/noc"
+	"pseudocircuit/nocdclient"
+)
+
+// peerServer is a minimal nocd-compatible daemon: POST /jobs?wait=1 backed
+// by a real service.Manager, enough surface for the dispatcher's client.
+func peerServer(t *testing.T) (*httptest.Server, *service.Manager) {
+	t.Helper()
+	m := service.New(service.Config{Workers: 2, Chunk: 100})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		req, err := service.DecodeRequest(body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		j, err := m.Submit(req)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if r.URL.Query().Get("wait") != "" && !j.State.Terminal() {
+			if j, err = m.Wait(r.Context(), j.ID); err != nil {
+				w.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		json.NewEncoder(w).Encode(j)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func dispatchReq(seed uint64) (service.Request, string) {
+	req := service.Request{
+		Spec: noc.Spec{
+			Topology: "mesh4x4", Scheme: "pseudo", VA: "static",
+			Warmup: 50, Measure: 200, Seed: seed,
+		},
+		Workload: noc.WorkloadSpec{Pattern: "uniform", Rate: 0.10},
+	}
+	canon, key, _, err := service.Canonicalize(req)
+	if err != nil {
+		panic(err)
+	}
+	return canon, key
+}
+
+// keyOwnedBy scans seeds for a spec whose primary owner is the wanted
+// member — deterministic, so tests can steer keys at specific nodes.
+func keyOwnedBy(t *testing.T, r *Ring, want string) (service.Request, string) {
+	t.Helper()
+	for seed := uint64(1); seed < 4096; seed++ {
+		req, key := dispatchReq(seed)
+		if r.Owners(key, 1)[0] == want {
+			return req, key
+		}
+	}
+	t.Fatalf("no seed under 4096 hashes to %s", want)
+	panic("unreachable")
+}
+
+func fastRetry() nocdclient.RetryPolicy {
+	return nocdclient.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestDispatchSelfOwned: a key this node owns routes local without touching
+// the network.
+func TestDispatchSelfOwned(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	d, err := New(Config{Self: "http://self", Peers: []string{"http://unreachable.invalid"},
+		Retry: fastRetry(), Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := keyOwnedBy(t, d.Ring(), "http://self")
+	_, route, err := d.Dispatch(context.Background(), key, req)
+	if err != nil || route != sweepapi.RouteLocal {
+		t.Fatalf("route %q err %v, want local", route, err)
+	}
+}
+
+// TestDispatchRemote: a peer-owned key is simulated on the peer and the
+// returned result is bit-identical to a direct local run of the same spec.
+func TestDispatchRemote(t *testing.T) {
+	srv, peerSvc := peerServer(t)
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog(16)
+	d, err := New(Config{Self: "http://self", Peers: []string{srv.URL},
+		Retry: fastRetry(), Telemetry: reg, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := keyOwnedBy(t, d.Ring(), srv.URL)
+	res, route, err := d.Dispatch(context.Background(), key, req)
+	if err != nil || route != sweepapi.RouteRemote {
+		t.Fatalf("route %q err %v, want remote", route, err)
+	}
+
+	exp, err := req.Spec.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: req.Workload.Rate})
+	got, _ := json.Marshal(res)
+	wantB, _ := json.Marshal(want)
+	if string(got) != string(wantB) {
+		t.Fatalf("remote result diverged from direct run:\nremote: %s\ndirect: %s", got, wantB)
+	}
+	if peerSvc.Stats()["completed"] != 1 {
+		t.Fatalf("peer completed %d jobs, want 1", peerSvc.Stats()["completed"])
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `nocd_dispatch_total{route="remote"} 1`) {
+		t.Fatalf("dispatch counter missing:\n%s", b.String())
+	}
+}
+
+// TestDispatchFallback: with every responsible peer unreachable, the point
+// falls back to local execution instead of failing the sweep.
+func TestDispatchFallback(t *testing.T) {
+	srv, _ := peerServer(t)
+	url := srv.URL
+	srv.Close() // peer is in the ring but down
+	reg := telemetry.NewRegistry()
+	d, err := New(Config{Self: "http://self", Peers: []string{url},
+		Replicas: 1, Retry: fastRetry(), Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := keyOwnedBy(t, d.Ring(), url)
+	_, route, err := d.Dispatch(context.Background(), key, req)
+	if err != nil || route != sweepapi.RouteFallback {
+		t.Fatalf("route %q err %v, want fallback", route, err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `nocd_dispatch_total{route="fallback"} 1`) ||
+		!strings.Contains(out, "nocd_dispatch_peer_errors_total 1") {
+		t.Fatalf("fallback counters missing:\n%s", out)
+	}
+}
+
+// TestDispatchReplicaFailover: with the primary down and a healthy second
+// replica, the point lands on the replica, not on local fallback.
+func TestDispatchReplicaFailover(t *testing.T) {
+	srv, peerSvc := peerServer(t)
+	dead, _ := peerServer(t)
+	deadURL := dead.URL
+	dead.Close()
+	d, err := New(Config{Self: "http://self", Peers: []string{srv.URL, deadURL},
+		Replicas: 3, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A key whose primary is the dead peer; with three replicas over three
+	// members, the live peer and self are both consulted after it.
+	req, key := keyOwnedBy(t, d.Ring(), deadURL)
+	owners := d.Ring().Owners(key, 3)
+	_, route, err := d.Dispatch(context.Background(), key, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live peer precedes self in ring order for some keys and follows it
+	// for others; both outcomes are correct — what may not happen is a
+	// failure or a fallback that skipped a live replica before self.
+	switch route {
+	case sweepapi.RouteRemote:
+		if peerSvc.Stats()["completed"] != 1 {
+			t.Fatalf("remote route but peer completed %d", peerSvc.Stats()["completed"])
+		}
+	case sweepapi.RouteLocal:
+		if owners[1] != "http://self" {
+			t.Fatalf("local route but self is not the second replica: %v", owners)
+		}
+	default:
+		t.Fatalf("route %q (owners %v)", route, owners)
+	}
+}
+
+// TestDispatchBadRequestPropagates: a deterministic 4xx from the owner is
+// returned to the caller, not retried on other replicas.
+func TestDispatchBadRequestPropagates(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad spec"})
+	}))
+	defer srv.Close()
+	d, err := New(Config{Self: "http://self", Peers: []string{srv.URL}, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := keyOwnedBy(t, d.Ring(), srv.URL)
+	_, _, err = d.Dispatch(context.Background(), key, req)
+	var apiErr *nocdclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want propagated 400", err)
+	}
+}
+
+// TestDispatchExactlyOnce is the fleet-level acceptance check at the
+// package level: two nodes, each dispatching the same grid with the same
+// ring, simulate each point exactly once between them (node A runs a real
+// service; node B is the peer HTTP daemon).
+func TestDispatchExactlyOnce(t *testing.T) {
+	srv, peerSvc := peerServer(t)
+	localSvc := service.New(service.Config{Workers: 2, Chunk: 100})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		localSvc.Shutdown(ctx)
+	}()
+	d, err := New(Config{Self: "http://self", Peers: []string{srv.URL},
+		Replicas: 2, Retry: fastRetry(), Telemetry: localSvc.Telemetry(), Spans: localSvc.SpanLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweepapi.New(localSvc, sweepapi.Config{Dispatcher: d, Inflight: 4})
+	st, err := sw.Submit([]byte(`{
+	  "template": {"topology":"mesh4x4","scheme":"baseline","va":"static",
+	               "warmup":50,"measure":200,
+	               "workload":{"pattern":"uniform","rate":0.1}},
+	  "axes": {"scheme": ["baseline","pseudo"], "seed": [1,2,3,4,5,6,7,8]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if st, err = sw.Wait(ctx, st.ID); err != nil || st.State != "done" || st.Done != 16 {
+		t.Fatalf("sweep: %+v err %v", st, err)
+	}
+	localDone := localSvc.Stats()["completed"]
+	peerDone := peerSvc.Stats()["completed"]
+	if localDone+peerDone != 16 || localDone == 0 || peerDone == 0 {
+		t.Fatalf("fleet simulated %d+%d points, want each of the 16 points run exactly once",
+			localDone, peerDone)
+	}
+	if st.Remote != int(peerDone) {
+		t.Fatalf("sweep counted %d remote points, peer completed %d", st.Remote, peerDone)
+	}
+
+	// Every point's result is bit-identical to a direct experiment run.
+	pts, _, _, _ := sw.PointsSince(st.ID, 0)
+	for _, p := range pts {
+		exp, err := p.Spec.Spec.Experiment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: p.Spec.Workload.Rate})
+		got, _ := json.Marshal(*p.Result)
+		wantB, _ := json.Marshal(want)
+		if string(got) != string(wantB) {
+			t.Fatalf("point %d (%s seed %d) diverged from direct run", p.Index, p.Spec.Scheme, p.Spec.Seed)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package cluster fans sweep grid points out across a fleet of nocd
+// daemons. Ownership is decided by consistent hashing of the canonical spec
+// key, so every node in the fleet — given the same member list — routes the
+// same spec to the same owners without any coordination, and the fleet's
+// disk stores each accumulate a disjoint shard of the result space. When an
+// owner is unreachable the dispatcher tries the next replica and finally
+// falls back to local execution: dispatch changes only where a simulation
+// runs, never its result.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// vnodesPerMember is the number of ring points each member projects. 64
+// keeps the largest/smallest ownership arc within a few percent of fair for
+// fleet sizes in the tens while the ring stays small enough to rebuild on
+// every membership change.
+const vnodesPerMember = 64
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a set of member names.
+// Member names must be spelled identically across the fleet (every node
+// lists every other node the same way) for ownership to agree.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds a ring over the distinct non-empty members.
+func NewRing(members []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for i := 0; i < vnodesPerMember; i++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			h := sha256.New()
+			h.Write([]byte(m))
+			h.Write([]byte{'#'})
+			h.Write(buf[:])
+			r.points = append(r.points, ringPoint{hash: sum64(h.Sum(nil)), member: m})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the member name so every
+		// node sorts the ring identically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's distinct members, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Owners returns the first n distinct members clockwise from the key's ring
+// position — the key's owner and its replicas, in preference order. Fewer
+// than n members yields all of them.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := sha256.Sum256([]byte(key))
+	target := sum64(h[:])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= target })
+	owners := make([]string, 0, n)
+	seen := map[string]bool{}
+	for j := 0; j < len(r.points) && len(owners) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		owners = append(owners, p.member)
+	}
+	return owners
+}
+
+// sum64 folds the leading 8 bytes of a digest into the ring coordinate.
+func sum64(digest []byte) uint64 { return binary.BigEndian.Uint64(digest[:8]) }

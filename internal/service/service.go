@@ -27,6 +27,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pseudocircuit/internal/store"
 	"pseudocircuit/internal/telemetry"
 	"pseudocircuit/noc"
 )
@@ -55,6 +57,12 @@ type Config struct {
 	Chunk int
 	// SpanCap bounds the job-lifecycle span ring (default 4096).
 	SpanCap int
+	// Store, when non-nil, persists results on disk under their canonical
+	// spec hash: the in-memory cache is consulted first, then the store, and
+	// every completed simulation is written through — so the cache survives
+	// restarts and can be shared (read-only) across processes. Nil keeps the
+	// cache memory-only.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +111,10 @@ type Job struct {
 	// CacheHit marks a submission answered from the result cache without
 	// simulating.
 	CacheHit bool `json:"cacheHit"`
+	// StoreHit marks a cache hit that was served from the persistent disk
+	// store rather than process memory — i.e. the result outlived a restart
+	// or was written by another process sharing the store directory.
+	StoreHit bool `json:"storeHit,omitempty"`
 	// Dedup marks a submission that joined an identical in-flight job; the
 	// ID is the original job's.
 	Dedup       bool `json:"dedup"`
@@ -147,6 +159,7 @@ type job struct {
 	mu         sync.Mutex
 	state      State
 	cacheHit   bool
+	storeHit   bool
 	cyclesDone int
 	result     *noc.Result
 	err        string
@@ -165,6 +178,7 @@ func (j *job) snapshot() Job {
 		Key:         j.key,
 		State:       j.state,
 		CacheHit:    j.cacheHit,
+		StoreHit:    j.storeHit,
 		CyclesDone:  j.cyclesDone,
 		CyclesTotal: j.total,
 		Request:     j.req,
@@ -207,15 +221,17 @@ type Manager struct {
 	cache      map[string]noc.Result
 	cacheOrder []string
 
-	submitted atomic.Int64 // accepted submissions (incl. cache/dedup hits)
-	enqueued  atomic.Int64 // submissions that became new queued jobs
-	cacheHits atomic.Int64
-	dedupHits atomic.Int64
-	rejected  atomic.Int64 // queue-full rejections
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	running   atomic.Int64 // gauge
+	submitted   atomic.Int64 // accepted submissions (incl. cache/dedup hits)
+	enqueued    atomic.Int64 // submissions that became new queued jobs
+	cacheHits   atomic.Int64
+	storeHits   atomic.Int64 // cache hits served from the disk store
+	storeMisses atomic.Int64 // disk lookups that found no intact entry
+	dedupHits   atomic.Int64
+	rejected    atomic.Int64 // queue-full rejections
+	completed   atomic.Int64
+	failed      atomic.Int64
+	canceled    atomic.Int64
+	running     atomic.Int64 // gauge
 }
 
 // New starts a manager and its workers.
@@ -273,6 +289,31 @@ func (m *Manager) Submit(r Request) (Job, error) {
 		s := j.snapshot()
 		s.Dedup = true
 		return s, nil
+	}
+	// Memory and in-flight both missed; the disk store is the last cache
+	// tier before simulating. A disk hit is promoted into the memory cache
+	// so repeats stay off the disk.
+	if m.cfg.Store != nil {
+		if res, ok := m.storeLookupLocked(key); ok {
+			m.addCacheLocked(key, res)
+			j := m.newJobLocked(canon, key, exp)
+			j.state = StateDone
+			j.cacheHit = true
+			j.storeHit = true
+			j.cyclesDone = j.total
+			j.result = &res
+			close(j.done)
+			m.submitted.Add(1)
+			m.cacheHits.Add(1)
+			m.storeHits.Add(1)
+			m.ins.submissions.Inc()
+			m.ins.cacheHits.Inc()
+			m.ins.storeHits.Inc()
+			m.ins.instant("store-hit", j, "hit", now)
+			return j.snapshot(), nil
+		}
+		m.storeMisses.Add(1)
+		m.ins.storeMisses.Inc()
 	}
 	j := m.newJobLocked(canon, key, exp)
 	j.enqueuedAt = now // pre-publication: workers only see j after the send
@@ -374,6 +415,18 @@ func (m *Manager) runJob(j *job, pool *noc.Pool) {
 		m.addCacheLocked(j.key, res)
 	}
 	m.mu.Unlock()
+	if err == nil && m.cfg.Store != nil {
+		// Write-through to the disk tier. A failed write degrades durability,
+		// not correctness — the result is already in memory — so it is
+		// counted, never fatal.
+		if payload, merr := json.Marshal(res); merr == nil {
+			if perr := m.cfg.Store.Put(j.key, payload); perr != nil {
+				m.ins.storePutErrs.Inc()
+			}
+		} else {
+			m.ins.storePutErrs.Inc()
+		}
+	}
 
 	j.mu.Lock()
 	j.finishedAt = finished
@@ -422,6 +475,21 @@ func (m *Manager) simulate(j *job, pool *noc.Pool) (res noc.Result, err error) {
 		j.cyclesDone = int(n.Now())
 		j.mu.Unlock()
 	})
+}
+
+// storeLookupLocked fetches and decodes a result from the disk store; m.mu
+// must be held. A checksum-valid entry whose payload no longer decodes
+// (format drift across versions) is treated as a miss.
+func (m *Manager) storeLookupLocked(key string) (noc.Result, bool) {
+	payload, ok := m.cfg.Store.Get(key)
+	if !ok {
+		return noc.Result{}, false
+	}
+	var res noc.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return noc.Result{}, false
+	}
+	return res, true
 }
 
 // addCacheLocked inserts a result, evicting the oldest entries over
@@ -549,18 +617,20 @@ func (m *Manager) Stats() map[string]int64 {
 	jobs := int64(len(m.jobs))
 	m.mu.Unlock()
 	return map[string]int64{
-		"submitted":  m.submitted.Load(),
-		"enqueued":   m.enqueued.Load(),
-		"cache_hits": m.cacheHits.Load(),
-		"dedup_hits": m.dedupHits.Load(),
-		"rejected":   m.rejected.Load(),
-		"completed":  m.completed.Load(),
-		"failed":     m.failed.Load(),
-		"canceled":   m.canceled.Load(),
-		"running":    m.running.Load(),
-		"queue_len":  queueLen,
-		"cache_size": cacheSize,
-		"inflight":   inflight,
-		"jobs":       jobs,
+		"submitted":    m.submitted.Load(),
+		"enqueued":     m.enqueued.Load(),
+		"cache_hits":   m.cacheHits.Load(),
+		"store_hits":   m.storeHits.Load(),
+		"store_misses": m.storeMisses.Load(),
+		"dedup_hits":   m.dedupHits.Load(),
+		"rejected":     m.rejected.Load(),
+		"completed":    m.completed.Load(),
+		"failed":       m.failed.Load(),
+		"canceled":     m.canceled.Load(),
+		"running":      m.running.Load(),
+		"queue_len":    queueLen,
+		"cache_size":   cacheSize,
+		"inflight":     inflight,
+		"jobs":         jobs,
 	}
 }

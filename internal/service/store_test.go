@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/store"
+	"pseudocircuit/noc"
+)
+
+func storeReq(seed uint64) Request {
+	return Request{
+		Spec: noc.Spec{
+			Topology: "mesh4x4", Scheme: "pseudo+s+b", VA: "static",
+			Warmup: 50, Measure: 200, Seed: seed,
+		},
+		Workload: noc.WorkloadSpec{Pattern: "uniform", Rate: 0.10},
+	}
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, m *Manager, id string) Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j, err := m.Wait(ctx, id)
+	if err != nil || j.State != StateDone {
+		t.Fatalf("job %s: state %s err %v", id, j.State, err)
+	}
+	return j
+}
+
+// TestStoreSurvivesRestart: a fleet of specs simulated by one manager is
+// served entirely from the disk store by a fresh manager on the same
+// directory — zero simulations, verified by the cycle and store-hit
+// counters, with results bit-identical to the first run.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const points = 4
+
+	m1 := New(Config{Workers: 2, Chunk: 100, Store: openStore(t, dir)})
+	want := map[uint64]string{}
+	for seed := uint64(1); seed <= points; seed++ {
+		j, err := m1.Submit(storeReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j = waitDone(t, m1, j.ID)
+		if j.CacheHit || j.StoreHit {
+			t.Fatalf("first run of seed %d claimed a cache hit", seed)
+		}
+		want[seed] = mustJSON(t, *j.Result)
+	}
+	shutdown(t, m1)
+
+	// "Restart": a brand-new manager, empty memory cache, same directory.
+	m2 := New(Config{Workers: 2, Chunk: 100, Store: openStore(t, dir)})
+	defer shutdown(t, m2)
+	for seed := uint64(1); seed <= points; seed++ {
+		j, err := m2.Submit(storeReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone || !j.CacheHit || !j.StoreHit {
+			t.Fatalf("seed %d after restart: state %s cacheHit %v storeHit %v",
+				seed, j.State, j.CacheHit, j.StoreHit)
+		}
+		if got := mustJSON(t, *j.Result); got != want[seed] {
+			t.Fatalf("seed %d result changed across the store round-trip:\nbefore: %s\nafter:  %s",
+				seed, want[seed], got)
+		}
+	}
+	stats := m2.Stats()
+	if stats["store_hits"] != points {
+		t.Fatalf("store_hits = %d, want %d", stats["store_hits"], points)
+	}
+	if v := m2.ins.cycles.Value(); v != 0 {
+		t.Fatalf("restarted manager simulated %d cycles; want 0", v)
+	}
+	if v := m2.ins.storeHits.Value(); v != points {
+		t.Fatalf("nocd_store_hits_total = %d, want %d", v, points)
+	}
+
+	// A repeat of the same spec is now a memory hit: the disk tier is only
+	// read once per key.
+	j, err := m2.Submit(storeReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.CacheHit || j.StoreHit {
+		t.Fatalf("second submission: cacheHit %v storeHit %v; want memory hit", j.CacheHit, j.StoreHit)
+	}
+	if v := m2.ins.storeHits.Value(); v != points {
+		t.Fatalf("memory hit still read the disk store (hits %d)", v)
+	}
+}
+
+// TestStoreTornEntryResimulated: a torn store entry is evicted, never
+// served — the submission simulates again and repairs the entry on disk.
+func TestStoreTornEntryResimulated(t *testing.T) {
+	dir := t.TempDir()
+	m1 := New(Config{Workers: 1, Chunk: 100, Store: openStore(t, dir)})
+	j, err := m1.Submit(storeReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitDone(t, m1, j.ID)
+	want := mustJSON(t, *j.Result)
+	key := j.Key
+	shutdown(t, m1)
+
+	// Tear the entry as a crash mid-write would.
+	path := filepath.Join(dir, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t, dir)
+	if st.Corrupt() != 1 {
+		t.Fatalf("corrupt = %d, want 1 (torn entry evicted at open)", st.Corrupt())
+	}
+	m2 := New(Config{Workers: 1, Chunk: 100, Store: st})
+	defer shutdown(t, m2)
+	j2, err := m2.Submit(storeReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.CacheHit || j2.StoreHit {
+		t.Fatal("torn entry was served as a hit")
+	}
+	j2 = waitDone(t, m2, j2.ID)
+	if got := mustJSON(t, *j2.Result); got != want {
+		t.Fatalf("re-simulated result diverged:\nwant %s\ngot  %s", want, got)
+	}
+	// The write-through repaired the entry: verify on disk.
+	payload, ok := st.Get(key)
+	if !ok {
+		t.Fatal("repaired entry missing from store")
+	}
+	var res noc.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, res); got != want {
+		t.Fatalf("stored payload diverged:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestStoreMatchesDirectRun: a store-served result is bit-identical to a
+// direct noc.Experiment run of the same spec.
+func TestStoreMatchesDirectRun(t *testing.T) {
+	dir := t.TempDir()
+	m1 := New(Config{Workers: 1, Chunk: 100, Store: openStore(t, dir)})
+	j, err := m1.Submit(storeReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m1, j.ID)
+	shutdown(t, m1)
+
+	m2 := New(Config{Workers: 1, Chunk: 100, Store: openStore(t, dir)})
+	defer shutdown(t, m2)
+	j2, err := m2.Submit(storeReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.StoreHit {
+		t.Fatal("expected a store hit")
+	}
+
+	exp, err := storeReq(3).Spec.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exp.RunSynthetic(noc.Synthetic{Pattern: noc.UniformRandom, Rate: 0.10})
+	if got, wantB := mustJSON(t, *j2.Result), mustJSON(t, want); got != wantB {
+		t.Fatalf("store-served result diverged from direct run:\nstore:  %s\ndirect: %s", got, wantB)
+	}
+}

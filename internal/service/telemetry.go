@@ -29,6 +29,12 @@ type instruments struct {
 	outcomes    telemetry.CounterVec // label outcome: done|failed|canceled
 	cycles      *telemetry.Counter
 
+	// Disk-store tier; registered (and non-nil) only when Config.Store is
+	// set — every use is behind the same nil check.
+	storeHits    *telemetry.Counter
+	storeMisses  *telemetry.Counter
+	storePutErrs *telemetry.Counter
+
 	queueWait *telemetry.Histogram
 	runTime   telemetry.HistogramVec // label scheme
 
@@ -98,6 +104,23 @@ func newInstruments(m *Manager, spanCap int) *instruments {
 		})
 	reg.GaugeFunc("nocd_span_log_dropped", "lifecycle spans evicted by the ring bound",
 		func() float64 { return float64(ins.spans.Dropped()) })
+	if st := m.cfg.Store; st != nil {
+		ins.storeHits = reg.Counter("nocd_store_hits_total",
+			"submissions answered from the persistent disk store without simulating")
+		ins.storeMisses = reg.Counter("nocd_store_misses_total",
+			"disk store lookups that found no intact entry")
+		ins.storePutErrs = reg.Counter("nocd_store_put_errors_total",
+			"failed disk store writes (the result is still served from memory)")
+		reg.CounterFunc("nocd_store_evictions_total", "store entries evicted by the byte cap",
+			st.Evictions)
+		reg.CounterFunc("nocd_store_corrupt_total",
+			"corrupt or torn store entries detected and evicted, never served",
+			st.Corrupt)
+		reg.GaugeFunc("nocd_store_entries", "intact entries resident in the disk store",
+			func() float64 { return float64(st.Len()) })
+		reg.GaugeFunc("nocd_store_bytes", "bytes resident in the disk store",
+			func() float64 { return float64(st.Bytes()) })
+	}
 	return ins
 }
 

@@ -1,0 +1,369 @@
+// Package store is a disk-backed content-addressed result store: one file
+// per canonical-spec hash, each self-checksummed, the whole directory
+// LRU-bounded by bytes. It is the persistence layer under the simulation
+// service's in-memory result cache — results survive daemon restarts, and a
+// directory can be shared read-only across processes (every Get re-reads
+// and re-verifies the file, so a reader never depends on the writer's
+// in-memory index).
+//
+// Entry format: the 64-hex-character SHA-256 of the payload, a newline,
+// then the payload. Writes go to a dot-prefixed temp file in the same
+// directory, are synced, then renamed into place — a crash mid-write leaves
+// a temp file (swept at the next Open) or a torn entry (caught by the
+// checksum at Open or Get, evicted, never served), but never a readable
+// half-result under a valid key.
+//
+// The store knows nothing about what the payloads mean: it moves bytes. The
+// service layer owns (de)serialization of noc.Result and the metric names;
+// the store exports plain counters (Evictions, Corrupt) for it to re-expose.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// headerLen is the checksum line: 64 hex characters plus the newline.
+const headerLen = 65
+
+// ErrReadOnly is returned by Put on a store opened with OpenReadOnly.
+var ErrReadOnly = errors.New("store: read-only")
+
+// Store is a disk-backed key→payload store. Keys are 64-character lowercase
+// hex strings (the service's canonical spec hashes). Safe for concurrent
+// use by multiple goroutines; safe for concurrent use across processes only
+// in the one-writer, many-readers arrangement the package comment
+// describes.
+type Store struct {
+	dir      string
+	maxBytes int64
+	readOnly bool
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	// lru orders resident entries, least recently used first. Entries track
+	// their slice position so touch/remove stay O(n) only in the eviction
+	// path, O(1)-amortized on hits (move-to-back via index swap would break
+	// ordering; n is small — thousands — and Get already does disk I/O).
+	lru []*entry
+
+	bytes atomic.Int64
+
+	evictions    atomic.Uint64
+	evictedBytes atomic.Uint64
+	corrupt      atomic.Uint64
+}
+
+type entry struct {
+	key  string
+	size int64 // file size on disk, header included
+}
+
+// Open opens (creating if needed) the store at dir with the given byte cap.
+// The index is rebuilt from a directory scan: leftover temp files are
+// removed, every entry is checksum-verified (corrupt and truncated entries
+// are evicted on the spot), survivors are ordered least-recently-used first
+// by file modification time, and the byte cap is enforced before Open
+// returns. maxBytes must be positive.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("store: byte cap %d must be positive", maxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, entries: map[string]*entry{}}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictOverCapLocked(0)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// OpenReadOnly opens the store at dir for reads only: Get re-verifies
+// entries straight off the disk (no index, no cap, no eviction — corrupt
+// entries are reported as misses and counted, never deleted), so a second
+// process can serve hits from a directory a live daemon is writing.
+func OpenReadOnly(dir string) (*Store, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("store: %s is not a directory", dir)
+	}
+	return &Store{dir: dir, readOnly: true, entries: map[string]*entry{}}, nil
+}
+
+// scan rebuilds the index from the directory, removing temp-file leftovers
+// and corrupt entries.
+func (s *Store) scan() error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type survivor struct {
+		e     *entry
+		mtime time.Time
+	}
+	var alive []survivor
+	for _, de := range des {
+		name := de.Name()
+		if !de.Type().IsRegular() {
+			continue
+		}
+		if name[0] == '.' {
+			// Crash leftover from an interrupted atomic write.
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !validKey(name) {
+			continue // foreign file; not ours to manage
+		}
+		path := filepath.Join(s.dir, name)
+		if _, err := loadVerified(path); err != nil {
+			s.corrupt.Add(1)
+			os.Remove(path)
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		alive = append(alive, survivor{&entry{key: name, size: fi.Size()}, fi.ModTime()})
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		if !alive[i].mtime.Equal(alive[j].mtime) {
+			return alive[i].mtime.Before(alive[j].mtime)
+		}
+		return alive[i].e.key < alive[j].e.key // stable order for equal stamps
+	})
+	for _, sv := range alive {
+		s.entries[sv.e.key] = sv.e
+		s.lru = append(s.lru, sv.e)
+		s.bytes.Add(sv.e.size)
+	}
+	return nil
+}
+
+// Get returns the payload stored under key. The entry is read from disk and
+// checksum-verified on every call; a corrupt entry is evicted (read-write
+// stores only), counted, and reported as a miss — never served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, key)
+	if s.readOnly {
+		payload, err := loadVerified(path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				s.corrupt.Add(1)
+			}
+			return nil, false
+		}
+		return payload, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, err := loadVerified(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.dropLocked(key) // vanished externally; forget it
+			return nil, false
+		}
+		s.corrupt.Add(1)
+		os.Remove(path)
+		s.dropLocked(key)
+		return nil, false
+	}
+	if e, ok := s.entries[key]; ok {
+		s.touchLocked(e)
+	} else {
+		// Written by another process sharing the directory; adopt it.
+		e := &entry{key: key, size: int64(len(payload)) + headerLen}
+		s.entries[key] = e
+		s.lru = append(s.lru, e)
+		s.bytes.Add(e.size)
+		s.evictOverCapLocked(0)
+	}
+	// Refresh the on-disk recency mark so LRU order survives a restart.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// Put stores payload under key, atomically (write temp, sync, rename) and
+// within the byte cap: least-recently-used entries are evicted first, and a
+// payload larger than the whole cap is not stored at all (counted as an
+// eviction rather than silently wedging the store).
+func (s *Store) Put(key string, payload []byte) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	size := int64(len(payload)) + headerLen
+	if size > s.maxBytes {
+		s.evictions.Add(1)
+		s.evictedBytes.Add(uint64(size))
+		return nil
+	}
+	sum := sha256.Sum256(payload)
+	data := make([]byte, 0, size)
+	data = append(data, hex.EncodeToString(sum[:])...)
+	data = append(data, '\n')
+	data = append(data, payload...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictOverCapLocked(size)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(s.dir, key))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if e, ok := s.entries[key]; ok {
+		s.bytes.Add(size - e.size)
+		e.size = size
+		s.touchLocked(e)
+	} else {
+		e := &entry{key: key, size: size}
+		s.entries[key] = e
+		s.lru = append(s.lru, e)
+		s.bytes.Add(size)
+	}
+	return nil
+}
+
+// Delete removes the entry, if present. Not counted as an eviction.
+func (s *Store) Delete(key string) {
+	if s.readOnly || !validKey(key) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, key))
+	s.dropLocked(key)
+}
+
+// evictOverCapLocked removes least-recently-used entries until `need` more
+// bytes fit under the cap.
+func (s *Store) evictOverCapLocked(need int64) {
+	for len(s.lru) > 0 && s.bytes.Load()+need > s.maxBytes {
+		e := s.lru[0]
+		os.Remove(filepath.Join(s.dir, e.key))
+		s.dropLocked(e.key)
+		s.evictions.Add(1)
+		s.evictedBytes.Add(uint64(e.size))
+	}
+}
+
+// dropLocked removes key from the index without touching the disk.
+func (s *Store) dropLocked(key string) {
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	delete(s.entries, key)
+	for i, le := range s.lru {
+		if le == e {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	s.bytes.Add(-e.size)
+}
+
+// touchLocked moves e to the most-recently-used end.
+func (s *Store) touchLocked(e *entry) {
+	for i, le := range s.lru {
+		if le == e {
+			copy(s.lru[i:], s.lru[i+1:])
+			s.lru[len(s.lru)-1] = e
+			return
+		}
+	}
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of resident entries (0 for read-only stores, which
+// keep no index).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the resident size in bytes, headers included.
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
+
+// Evictions returns the number of entries evicted by the byte cap (plus
+// oversize payloads rejected at Put).
+func (s *Store) Evictions() uint64 { return s.evictions.Load() }
+
+// EvictedBytes returns the total bytes reclaimed by those evictions.
+func (s *Store) EvictedBytes() uint64 { return s.evictedBytes.Load() }
+
+// Corrupt returns the number of corrupt or truncated entries detected (at
+// Open or Get) and evicted — torn writes from a crash, external tampering.
+func (s *Store) Corrupt() uint64 { return s.corrupt.Load() }
+
+// loadVerified reads an entry file and verifies its checksum, returning the
+// payload. Any structural problem — too short, bad header, digest mismatch —
+// is an error distinct from fs.ErrNotExist.
+func loadVerified(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerLen || data[headerLen-1] != '\n' {
+		return nil, fmt.Errorf("store: %s: truncated entry", path)
+	}
+	payload := data[headerLen:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != string(data[:headerLen-1]) {
+		return nil, fmt.Errorf("store: %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// validKey reports whether key is a 64-character lowercase-hex name — the
+// only filenames the store creates or manages.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

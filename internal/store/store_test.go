@@ -1,0 +1,327 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, cap int64) *Store {
+	t.Helper()
+	s, err := Open(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	payload := []byte(`{"avgLatency": 12.5}`)
+	if err := s.Put(testKey(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(testKey(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if want := int64(len(payload)) + headerLen; s.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes(), want)
+	}
+}
+
+func TestRejectsInvalidKeys(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	for _, key := range []string{"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64), "../../etc/passwd"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) reported a hit for an invalid key", key)
+		}
+	}
+}
+
+// TestReopenServesIntactEntries: the index is rebuilt from the directory
+// scan, and every intact entry still hits after a restart.
+func TestReopenServesIntactEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	payloads := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		k := testKey(i)
+		payloads[k] = []byte(fmt.Sprintf(`{"point": %d}`, i))
+		if err := s.Put(k, payloads[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := mustOpen(t, dir, 1<<20)
+	if s2.Len() != 8 {
+		t.Fatalf("reopened Len = %d, want 8", s2.Len())
+	}
+	for k, want := range payloads {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("after reopen Get(%s) = %q, %v; want %q, true", k[:8], got, ok, want)
+		}
+	}
+}
+
+// TestCrashMidWrite simulates a daemon killed mid-write: one entry torn
+// (truncated in place), one entry's bytes flipped, a temp file left behind.
+// Reopening must evict the damaged entries and the temp leftover while every
+// intact entry still hits.
+func TestCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	for i := 0; i < 6; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf(`{"point": %d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tear entry 0: keep the header but truncate the payload mid-byte.
+	torn := filepath.Join(dir, testKey(0))
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt entry 1: flip a payload byte, length unchanged.
+	flipped := filepath.Join(dir, testKey(1))
+	data, err = os.ReadFile(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(flipped, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate entry 2 inside the header (shorter than any valid entry).
+	if err := os.WriteFile(filepath.Join(dir, testKey(2)), []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And the interrupted atomic write's temp file.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-12345"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 1<<20)
+	if got := s2.Corrupt(); got != 3 {
+		t.Fatalf("Corrupt = %d, want 3", got)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 survivors", s2.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s2.Get(testKey(i)); ok {
+			t.Fatalf("damaged entry %d served after reopen", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok || string(got) != fmt.Sprintf(`{"point": %d}`, i) {
+			t.Fatalf("intact entry %d lost: %q, %v", i, got, ok)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-12345")); !os.IsNotExist(err) {
+		t.Fatal("temp leftover survived the reopen scan")
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn entry file survived the reopen scan")
+	}
+}
+
+// TestGetDetectsCorruption: an entry damaged while the store is open is
+// caught by the per-Get verification, evicted and never served.
+func TestGetDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	if err := s.Put(testKey(0), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, testKey(0))
+	data, _ := os.ReadFile(path)
+	data[headerLen] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(0)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if s.Corrupt() != 1 {
+		t.Fatalf("Corrupt = %d, want 1", s.Corrupt())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("index retained the corrupt entry: len %d bytes %d", s.Len(), s.Bytes())
+	}
+}
+
+// TestLRUByteCap: eviction respects the byte cap, removes least-recently-
+// used entries first, and a Get refreshes recency.
+func TestLRUByteCap(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(len(payload)) + headerLen // 165
+	s := mustOpen(t, dir, 4*entrySize)
+
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 4 || s.Bytes() != 4*entrySize {
+		t.Fatalf("resident %d entries / %d bytes, want 4 / %d", s.Len(), s.Bytes(), 4*entrySize)
+	}
+
+	// Touch the oldest so it survives the next eviction.
+	if _, ok := s.Get(testKey(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if err := s.Put(testKey(4), payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() > 4*entrySize {
+		t.Fatalf("Bytes %d exceeds cap %d", s.Bytes(), 4*entrySize)
+	}
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	if _, ok := s.Get(testKey(0)); !ok {
+		t.Fatal("recently-touched entry 0 was evicted")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions())
+	}
+
+	// An oversize payload is rejected outright, never stored.
+	big := bytes.Repeat([]byte("y"), int(4*entrySize))
+	if err := s.Put(testKey(9), big); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(9)); ok {
+		t.Fatal("oversize payload was stored")
+	}
+}
+
+// TestLRUOrderSurvivesRestart: recency is carried across restarts through
+// file mtimes, so a reopened store evicts the same entries a live one would.
+func TestLRUOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(len(payload)) + headerLen
+	s := mustOpen(t, dir, 10*entrySize)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		// Pin well-separated mtimes so the reopen scan sees an unambiguous
+		// recency order regardless of filesystem timestamp granularity.
+		stamp := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, testKey(i)), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry 0 is oldest on disk; a reopened store capped to 3 entries must
+	// drop exactly it.
+	s2 := mustOpen(t, dir, 3*entrySize)
+	if _, ok := s2.Get(testKey(0)); ok {
+		t.Fatal("oldest entry survived the reopen cap")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := s2.Get(testKey(i)); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+}
+
+// TestReadOnlySharing: a read-only store on the same directory serves
+// entries a read-write store wrote after the reader opened, rejects writes,
+// and reports corruption without deleting anything.
+func TestReadOnlySharing(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, 1<<20)
+	r, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(testKey(0), []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get(testKey(0))
+	if !ok || string(got) != "shared" {
+		t.Fatalf("read-only Get = %q, %v", got, ok)
+	}
+	if err := r.Put(testKey(1), []byte("nope")); err != ErrReadOnly {
+		t.Fatalf("read-only Put err = %v, want ErrReadOnly", err)
+	}
+
+	path := filepath.Join(dir, testKey(0))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(testKey(0)); ok {
+		t.Fatal("read-only store served a corrupt entry")
+	}
+	if r.Corrupt() != 1 {
+		t.Fatalf("read-only Corrupt = %d, want 1", r.Corrupt())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("read-only store deleted a file")
+	}
+}
+
+// TestConcurrentAccess hammers one store from several goroutines; the race
+// detector and the final invariants are the assertions.
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := testKey(g*50 + i)
+				if err := s.Put(k, []byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("just-written key %s missing", k[:8])
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+}

@@ -1,0 +1,76 @@
+package sweepapi
+
+import (
+	"errors"
+	"testing"
+
+	"pseudocircuit/internal/service"
+)
+
+// FuzzSweepSpec throws hostile grids at the sweep parser: whatever the
+// bytes, Parse must never panic, every rejection must wrap ErrBadRequest
+// (the daemon's 400 mapping), and every accepted plan must respect the
+// expansion bound with each point surviving re-canonicalization onto the
+// same key — the invariant the whole cache tier rests on.
+func FuzzSweepSpec(f *testing.F) {
+	tmpl := `{"topology":"mesh4x4","scheme":"baseline","va":"static","warmup":10,"measure":50,"workload":{"pattern":"uniform","rate":0.1}}`
+	seeds := []string{
+		`{"template":` + tmpl + `,"axes":{"scheme":["baseline","pseudo"],"seed":[1,2]}}`,
+		`{"template":` + tmpl + `}`,
+		`{"template":` + tmpl + `,"axes":{}}`,
+		`{"template":` + tmpl + `,"axes":null}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[1],"seed":[2]}}`,
+		`{"template":` + tmpl + `,"axes":{"SEED":[1]}}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[18446744073709551615]}}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[-1]}}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[1e308]}}`,
+		`{"template":` + tmpl + `,"axes":{"rate":[0.0,1.0,2.0]}}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[[1,2]]}}`,
+		`{"template":` + tmpl + `,"axes":{"seed":[{"a":1}]}}`,
+		`{"template":` + tmpl + `,"axes":{"warmup":[1,2,3,4,5,6,7,8],"measure":[1,2,3,4,5,6,7,8],"seed":[1,2,3,4,5,6,7,8]}}`,
+		`{"template":` + tmpl + `,"axes":{"scheme":"baseline"}}`,
+		`{"template":{"topology":"mesh64x64"},"axes":{"seed":[1]}}`,
+		`{"template":` + tmpl + `} trailing`,
+		`{"axes":{"seed":[1]}}`,
+		`[]`, `{}`, `null`, `"sweep"`, ``, `{{`,
+		"{\"template\":" + tmpl + ",\"axes\":{\"seed\":[0]}}\x00",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxPoints = 64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := Parse(data, maxPoints)
+		if err != nil {
+			if !errors.Is(err, service.ErrBadRequest) {
+				t.Fatalf("non-400 parse error: %v", err)
+			}
+			if plan != nil {
+				t.Fatal("error with a non-nil plan")
+			}
+			return
+		}
+		if n := len(plan.Points); n == 0 || n > maxPoints {
+			t.Fatalf("accepted plan with %d points (bound %d)", n, maxPoints)
+		}
+		seen := map[string]bool{}
+		for i, p := range plan.Points {
+			canon, key, _, err := service.Canonicalize(p.Req)
+			if err != nil {
+				t.Fatalf("point %d does not re-canonicalize: %v", i, err)
+			}
+			if key != p.Key {
+				t.Fatalf("point %d key %s re-canonicalizes to %s", i, p.Key, key)
+			}
+			if canon != p.Req {
+				t.Fatalf("point %d request is not a fixed point of canonicalization", i)
+			}
+			if seen[key] {
+				// Duplicate keys are legal (axes may collapse under
+				// canonicalization) — the cache dedups them; nothing to check.
+				continue
+			}
+			seen[key] = true
+		}
+	})
+}

@@ -1,0 +1,544 @@
+package sweepapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/internal/telemetry"
+	"pseudocircuit/noc"
+)
+
+// Dispatch routes for point execution; cluster.Dispatcher returns the same
+// strings so the two packages stay decoupled.
+const (
+	RouteLocal    = "local"
+	RouteRemote   = "remote"
+	RouteFallback = "fallback"
+)
+
+// Dispatcher decides where one grid point runs. Dispatch either serves the
+// result from a peer (route RouteRemote) or tells the caller to execute
+// locally (RouteLocal when this node owns the key, RouteFallback when every
+// responsible peer was unreachable). A non-nil error makes the point fail
+// (or cancel, when ctx ended).
+type Dispatcher interface {
+	Dispatch(ctx context.Context, key string, req service.Request) (res noc.Result, route string, err error)
+}
+
+// Config parameterizes a sweep Manager. Zero values select the defaults.
+type Config struct {
+	// MaxPoints bounds one sweep's grid expansion (default DefaultMaxPoints);
+	// larger grids are rejected with a 400-mapped error, never truncated.
+	MaxPoints int
+	// Inflight bounds the grid points one sweep works on concurrently
+	// (default 16). It should not exceed the service queue capacity; the
+	// feeder backs off and retries on queue-full either way.
+	Inflight int
+	// SweepsCap bounds retained sweep records (default 128), oldest terminal
+	// evicted first.
+	SweepsCap int
+	// Dispatcher, when non-nil, fans points out across the fleet; nil runs
+	// everything locally.
+	Dispatcher Dispatcher
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = DefaultMaxPoints
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = 16
+	}
+	if c.SweepsCap <= 0 {
+		c.SweepsCap = 128
+	}
+	return c
+}
+
+// Status is an immutable snapshot of one sweep.
+type Status struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // running|done|canceled
+	// Points is the grid size; Completed counts terminal points.
+	Points    int `json:"points"`
+	Completed int `json:"completed"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// CacheHits counts locally-executed points served without simulating
+	// (StoreHits of those from the disk tier); Remote counts points served
+	// by peers.
+	CacheHits int `json:"cacheHits"`
+	StoreHits int `json:"storeHits"`
+	Remote    int `json:"remote"`
+	// ElapsedMS is wall time since submission (final once terminal).
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// Terminal reports whether the sweep has finished.
+func (s Status) Terminal() bool { return s.State != "running" }
+
+// PointStatus is the per-point NDJSON line: the canonical spec, where and
+// how it was served, and the result.
+type PointStatus struct {
+	Index    int             `json:"index"`
+	Key      string          `json:"key"`
+	Spec     service.Request `json:"spec"`
+	State    string          `json:"state"` // done|failed|canceled
+	CacheHit bool            `json:"cacheHit,omitempty"`
+	StoreHit bool            `json:"storeHit,omitempty"`
+	Source   string          `json:"source,omitempty"` // local|remote|fallback
+	Result   *noc.Result     `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// ErrUnknownSweep is returned for sweep IDs that don't resolve.
+var ErrUnknownSweep = errors.New("sweepapi: unknown sweep")
+
+// point is the mutable record behind PointStatus. A point is owned by
+// exactly one worker until it is published (appended to completedOrder
+// under the sweep lock); after publication it is immutable.
+type point struct {
+	index    int
+	key      string
+	req      service.Request
+	state    string
+	cacheHit bool
+	storeHit bool
+	source   string
+	result   *noc.Result
+	err      string
+}
+
+func (p *point) status() PointStatus {
+	return PointStatus{
+		Index: p.index, Key: p.key, Spec: p.req, State: p.state,
+		CacheHit: p.cacheHit, StoreHit: p.storeHit, Source: p.source,
+		Result: p.result, Error: p.err,
+	}
+}
+
+type sweep struct {
+	id     string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	start  time.Time
+	points []*point
+
+	mu             sync.Mutex
+	state          string
+	finish         time.Time
+	completedOrder []int // publication order; index into points
+	doneN          int
+	failedN        int
+	canceledN      int
+	cacheHits      int
+	storeHits      int
+	remote         int
+}
+
+func (s *sweep) statusLocked() Status {
+	elapsed := time.Since(s.start)
+	if !s.finish.IsZero() {
+		elapsed = s.finish.Sub(s.start)
+	}
+	return Status{
+		ID: s.id, State: s.state, Points: len(s.points),
+		Completed: len(s.completedOrder),
+		Done:      s.doneN, Failed: s.failedN, Canceled: s.canceledN,
+		CacheHits: s.cacheHits, StoreHits: s.storeHits, Remote: s.remote,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+}
+
+func (s *sweep) status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+// Manager expands sweep requests and drives their grid points through the
+// service (and, in cluster mode, across the fleet).
+type Manager struct {
+	svc *service.Manager
+	cfg Config
+
+	sweepsTotal  *telemetry.Counter
+	pointsTotal  telemetry.CounterVec // label outcome: done|failed|canceled
+	sweepsActive *telemetry.Gauge
+	pointsActive *telemetry.Gauge
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	sweeps map[string]*sweep
+	order  []string
+	wg     sync.WaitGroup
+}
+
+// New returns a sweep manager over svc, registering its metrics on the
+// service's registry and its lifecycle spans on the service's span log.
+func New(svc *service.Manager, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	reg := svc.Telemetry()
+	m := &Manager{
+		svc:    svc,
+		cfg:    cfg,
+		sweeps: map[string]*sweep{},
+		sweepsTotal: reg.Counter("nocd_sweeps_total",
+			"sweep submissions accepted and expanded"),
+		pointsTotal: reg.CounterVec("nocd_sweep_points_total",
+			"sweep grid points reaching a terminal state, by outcome", "outcome"),
+		sweepsActive: reg.Gauge("nocd_sweeps_active", "sweeps currently running"),
+		pointsActive: reg.Gauge("nocd_sweep_points_active",
+			"grid points of running sweeps not yet terminal"),
+	}
+	return m
+}
+
+// Submit parses, expands and starts a sweep, returning its initial status.
+// Errors wrap service.ErrBadRequest (invalid or over-limit grid) or are
+// service.ErrShuttingDown.
+func (m *Manager) Submit(data []byte) (Status, error) {
+	plan, err := Parse(data, m.cfg.MaxPoints)
+	if err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, service.ErrShuttingDown
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &sweep{
+		id: fmt.Sprintf("s%d", m.seq), ctx: ctx, cancel: cancel,
+		done: make(chan struct{}), start: time.Now(), state: "running",
+		points: make([]*point, len(plan.Points)),
+	}
+	for i, pp := range plan.Points {
+		s.points[i] = &point{index: i, key: pp.Key, req: pp.Req}
+	}
+	m.sweeps[s.id] = s
+	m.order = append(m.order, s.id)
+	m.evictSweepsLocked()
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.sweepsTotal.Inc()
+	m.sweepsActive.Add(1)
+	m.pointsActive.Add(float64(len(s.points)))
+	go m.run(s)
+	return s.status(), nil
+}
+
+// evictSweepsLocked drops the oldest terminal sweep records over SweepsCap.
+func (m *Manager) evictSweepsLocked() {
+	for i := 0; len(m.sweeps) > m.cfg.SweepsCap && i < len(m.order); {
+		id := m.order[i]
+		s, ok := m.sweeps[id]
+		if ok && !s.status().Terminal() {
+			i++
+			continue
+		}
+		delete(m.sweeps, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+// run drives one sweep: a bounded worker pool pulls point indices in grid
+// order, so at most Inflight points occupy the service queue at once and a
+// fleet peer sees a steady trickle, not a thundering herd.
+func (m *Manager) run(s *sweep) {
+	defer m.wg.Done()
+	workers := min(m.cfg.Inflight, len(s.points))
+	idxc := make(chan int)
+	var pwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := range idxc {
+				m.runPoint(s, s.points[i])
+			}
+		}()
+	}
+	fed := 0
+feed:
+	for ; fed < len(s.points); fed++ {
+		select {
+		case idxc <- fed:
+		case <-s.ctx.Done():
+			break feed
+		}
+	}
+	close(idxc)
+	pwg.Wait()
+	// Points never handed to a worker are canceled wholesale.
+	for i := fed; i < len(s.points); i++ {
+		p := s.points[i]
+		if p.state == "" {
+			p.state = "canceled"
+			p.err = "sweep canceled"
+			m.publish(s, p)
+		}
+	}
+
+	s.mu.Lock()
+	if s.canceledN > 0 || s.ctx.Err() != nil {
+		s.state = "canceled"
+	} else {
+		s.state = "done"
+	}
+	s.finish = time.Now()
+	final := s.statusLocked()
+	s.mu.Unlock()
+	m.sweepsActive.Add(-1)
+	outcome := final.State
+	if final.Failed > 0 {
+		outcome = "failed"
+	}
+	m.svc.SpanLog().Record(telemetry.Span{
+		Name: "sweep", Job: s.id, Outcome: outcome, Start: s.start, End: s.finish,
+	})
+	close(s.done)
+}
+
+// runPoint executes one grid point: through the dispatcher when configured,
+// locally through the service otherwise (or as fallback).
+func (m *Manager) runPoint(s *sweep, p *point) {
+	defer m.publish(s, p)
+	if s.ctx.Err() != nil {
+		p.state, p.err = "canceled", "sweep canceled"
+		return
+	}
+	if d := m.cfg.Dispatcher; d != nil {
+		res, route, err := d.Dispatch(s.ctx, p.key, p.req)
+		p.source = route
+		switch {
+		case err != nil:
+			if s.ctx.Err() != nil {
+				p.state, p.err = "canceled", "sweep canceled"
+			} else {
+				p.state, p.err = "failed", err.Error()
+			}
+			return
+		case route == RouteRemote:
+			p.state = "done"
+			p.result = &res
+			return
+		}
+		// RouteLocal / RouteFallback: fall through to local execution.
+	} else {
+		p.source = RouteLocal
+	}
+	m.runPointLocal(s, p)
+}
+
+// runPointLocal submits the point to the local service, backing off while
+// the queue is saturated, and waits for the terminal state.
+func (m *Manager) runPointLocal(s *sweep, p *point) {
+	var j service.Job
+	for {
+		var err error
+		j, err = m.svc.Submit(p.req)
+		if err == nil {
+			break
+		}
+		switch {
+		case errors.Is(err, service.ErrQueueFull):
+			select {
+			case <-s.ctx.Done():
+				p.state, p.err = "canceled", "sweep canceled"
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		case errors.Is(err, service.ErrShuttingDown):
+			p.state, p.err = "canceled", err.Error()
+			return
+		default:
+			// Canonicalization already vetted the spec at parse time, so
+			// this is unexpected — surface it as the point's failure.
+			p.state, p.err = "failed", err.Error()
+			return
+		}
+	}
+	p.cacheHit, p.storeHit = j.CacheHit, j.StoreHit
+	if !j.State.Terminal() {
+		jw, err := m.svc.Wait(s.ctx, j.ID)
+		if err != nil {
+			// Sweep canceled while the job ran: cancel the underlying job
+			// too (shared submitters included — singleflight semantics).
+			m.svc.Cancel(j.ID)
+			p.state, p.err = "canceled", "sweep canceled"
+			return
+		}
+		j = jw
+	}
+	switch j.State {
+	case service.StateDone:
+		p.state = "done"
+		p.result = j.Result
+	case service.StateCanceled:
+		p.state, p.err = "canceled", j.Error
+	default:
+		p.state, p.err = "failed", j.Error
+	}
+}
+
+// publish makes a terminal point visible to streamers and accounting. The
+// point's fields must not change afterwards.
+func (m *Manager) publish(s *sweep, p *point) {
+	s.mu.Lock()
+	s.completedOrder = append(s.completedOrder, p.index)
+	switch p.state {
+	case "done":
+		s.doneN++
+		if p.cacheHit {
+			s.cacheHits++
+		}
+		if p.storeHit {
+			s.storeHits++
+		}
+		if p.source == RouteRemote {
+			s.remote++
+		}
+	case "canceled":
+		s.canceledN++
+	default:
+		s.failedN++
+	}
+	s.mu.Unlock()
+	m.pointsTotal.With(p.state).Inc()
+	m.pointsActive.Add(-1)
+}
+
+// Get returns the sweep's status snapshot.
+func (m *Manager) Get(id string) (Status, bool) {
+	m.mu.Lock()
+	s, ok := m.sweeps[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return s.status(), true
+}
+
+// Sweeps lists snapshots of all retained sweeps, oldest first.
+func (m *Manager) Sweeps() []Status {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	ss := make([]*sweep, 0, len(order))
+	for _, id := range order {
+		if s, ok := m.sweeps[id]; ok {
+			ss = append(ss, s)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(ss))
+	for i, s := range ss {
+		out[i] = s.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a sweep: no further points are fed,
+// in-flight points are cancelled (including their underlying jobs), and the
+// sweep reaches the canceled state. Cancelling a terminal sweep is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	s, ok := m.sweeps[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownSweep
+	}
+	s.cancel()
+	return s.status(), nil
+}
+
+// PointsSince returns the terminal points published after cursor (a count
+// of points already consumed), the new cursor, and the sweep's status — the
+// polling primitive the NDJSON streamers are built on.
+func (m *Manager) PointsSince(id string, cursor int) ([]PointStatus, int, Status, bool) {
+	m.mu.Lock()
+	s, ok := m.sweeps[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, cursor, Status{}, false
+	}
+	s.mu.Lock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.completedOrder) {
+		cursor = len(s.completedOrder)
+	}
+	fresh := s.completedOrder[cursor:]
+	out := make([]PointStatus, len(fresh))
+	for i, idx := range fresh {
+		out[i] = s.points[idx].status()
+	}
+	st := s.statusLocked()
+	s.mu.Unlock()
+	return out, cursor + len(out), st, true
+}
+
+// Done exposes the sweep's completion channel (closed at terminal state).
+func (m *Manager) Done(id string) (<-chan struct{}, bool) {
+	m.mu.Lock()
+	s, ok := m.sweeps[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.done, true
+}
+
+// Wait blocks until the sweep is terminal or ctx ends, returning the latest
+// status either way.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	s, ok := m.sweeps[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownSweep
+	}
+	select {
+	case <-s.done:
+		return s.status(), nil
+	case <-ctx.Done():
+		return s.status(), ctx.Err()
+	}
+}
+
+// Shutdown stops accepting sweeps and waits for active ones to finish; when
+// ctx expires first, every remaining sweep is cancelled and Shutdown waits
+// for the workers to unwind. Call before the service manager's own
+// Shutdown, with the same drain deadline.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, s := range m.sweeps {
+			s.cancel()
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

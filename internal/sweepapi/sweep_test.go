@@ -1,0 +1,363 @@
+package sweepapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pseudocircuit/internal/service"
+	"pseudocircuit/noc"
+)
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func newSvc(t *testing.T, cfg service.Config) *service.Manager {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Chunk == 0 {
+		cfg.Chunk = 100
+	}
+	m := service.New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return m
+}
+
+func waitSweep(t *testing.T, sw *Manager, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := sw.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("sweep %s did not finish: %v (state %s %d/%d)", id, err, st.State, st.Completed, st.Points)
+	}
+	return st
+}
+
+const sweepBody = `{
+  "template": {"topology":"mesh4x4","scheme":"baseline","va":"static",
+               "warmup":50,"measure":200,
+               "workload":{"pattern":"uniform","rate":0.1}},
+  "axes": {"scheme": ["baseline","pseudo"], "seed": [1,2,3]}}`
+
+// TestParseExpansionOrder: axes sorted by name, last axis fastest, every
+// point canonicalized onto the exact key a direct submission would use.
+func TestParseExpansionOrder(t *testing.T) {
+	plan, err := Parse([]byte(sweepBody), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(plan.Points))
+	}
+	i := 0
+	for _, scheme := range []string{"baseline", "pseudo"} {
+		for _, seed := range []uint64{1, 2, 3} {
+			p := plan.Points[i]
+			if p.Req.Scheme != scheme || p.Req.Seed != seed {
+				t.Fatalf("point %d = %s/%d, want %s/%d", i, p.Req.Scheme, p.Req.Seed, scheme, seed)
+			}
+			_, key, _, err := service.Canonicalize(p.Req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if key != p.Key {
+				t.Fatalf("point %d key %s does not round-trip canonicalization (%s)", i, p.Key, key)
+			}
+			i++
+		}
+	}
+	// Same request parses to the same plan: expansion is deterministic.
+	plan2, err := Parse([]byte(sweepBody), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Points {
+		if plan.Points[i].Key != plan2.Points[i].Key {
+			t.Fatalf("point %d key differs across parses", i)
+		}
+	}
+}
+
+// TestParseRejects: every malformed grid is an explicit ErrBadRequest.
+func TestParseRejects(t *testing.T) {
+	tmpl := `{"topology":"mesh4x4","scheme":"baseline","va":"static","warmup":10,"measure":50,"workload":{"pattern":"uniform","rate":0.1}}`
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"not json", `{"template"`},
+		{"trailing data", `{"template":` + tmpl + `} {"x":1}`},
+		{"unknown top-level field", `{"template":` + tmpl + `,"points":5}`},
+		{"missing template", `{"axes":{"seed":[1]}}`},
+		{"null template", `{"template":null,"axes":{"seed":[1]}}`},
+		{"template unknown field", `{"template":{"topology":"mesh4x4","bogus":1}}`},
+		{"axes not object", `{"template":` + tmpl + `,"axes":[1,2]}`},
+		{"unknown axis", `{"template":` + tmpl + `,"axes":{"speed":[1]}}`},
+		{"duplicate axis", `{"template":` + tmpl + `,"axes":{"seed":[1],"seed":[2]}}`},
+		{"empty axis", `{"template":` + tmpl + `,"axes":{"seed":[]}}`},
+		{"wrong type string", `{"template":` + tmpl + `,"axes":{"seed":["one"]}}`},
+		{"wrong type number", `{"template":` + tmpl + `,"axes":{"scheme":[1]}}`},
+		{"nested value", `{"template":` + tmpl + `,"axes":{"seed":[[1]]}}`},
+		{"null value", `{"template":` + tmpl + `,"axes":{"seed":[null]}}`},
+		{"negative seed", `{"template":` + tmpl + `,"axes":{"seed":[-1]}}`},
+		{"float seed", `{"template":` + tmpl + `,"axes":{"seed":[1.5]}}`},
+		{"bad scheme value", `{"template":` + tmpl + `,"axes":{"scheme":["warp"]}}`},
+		{"bad rate value", `{"template":` + tmpl + `,"axes":{"rate":[2.5]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body), 0)
+			if !errors.Is(err, service.ErrBadRequest) {
+				t.Fatalf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+// TestParseBoundsExpansion: a grid over the limit is rejected outright, and
+// the running-product guard cannot be overflowed into acceptance.
+func TestParseBoundsExpansion(t *testing.T) {
+	tmpl := `{"topology":"mesh4x4","scheme":"baseline","va":"static","warmup":10,"measure":50,"workload":{"pattern":"uniform","rate":0.1}}`
+	seeds := ""
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			seeds += ","
+		}
+		seeds += fmt.Sprint(i)
+	}
+	body := `{"template":` + tmpl + `,"axes":{"seed":[` + seeds + `],"warmup":[` + seeds + `]}}`
+	if _, err := Parse([]byte(body), 4096); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("10000-point grid: err = %v, want ErrBadRequest", err)
+	}
+	if plan, err := Parse([]byte(body), 10000); err != nil || len(plan.Points) != 10000 {
+		t.Fatalf("10000-point grid under a 10000 limit: %v", err)
+	}
+	// Template-only sweeps are one point.
+	plan, err := Parse([]byte(`{"template":`+tmpl+`}`), 0)
+	if err != nil || len(plan.Points) != 1 {
+		t.Fatalf("template-only sweep: plan %v err %v", plan, err)
+	}
+}
+
+// TestSweepRunsAllPoints: every grid point completes with a result
+// bit-identical to submitting the same canonical spec directly.
+func TestSweepRunsAllPoints(t *testing.T) {
+	svc := newSvc(t, service.Config{})
+	sw := New(svc, Config{Inflight: 3})
+	st, err := sw.Submit([]byte(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitSweep(t, sw, st.ID)
+	if st.State != "done" || st.Done != 6 || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("sweep finished %+v", st)
+	}
+
+	pts, cursor, _, ok := sw.PointsSince(st.ID, 0)
+	if !ok || cursor != 6 || len(pts) != 6 {
+		t.Fatalf("PointsSince: ok %v cursor %d len %d", ok, cursor, len(pts))
+	}
+	for _, p := range pts {
+		if p.State != "done" || p.Result == nil {
+			t.Fatalf("point %d: %+v", p.Index, p)
+		}
+		j, err := svc.Submit(p.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j.CacheHit || j.Key != p.Key {
+			t.Fatalf("point %d: direct submission missed the sweep's cache entry (hit %v key %s vs %s)",
+				p.Index, j.CacheHit, j.Key, p.Key)
+		}
+		if got, want := mustJSON(t, *j.Result), mustJSON(t, *p.Result); got != want {
+			t.Fatalf("point %d result diverged from direct submission", p.Index)
+		}
+	}
+	// Incremental cursor: nothing new after the end.
+	pts, cursor, fin, _ := sw.PointsSince(st.ID, cursor)
+	if len(pts) != 0 || cursor != 6 || !fin.Terminal() {
+		t.Fatalf("tail read: %d points, cursor %d, state %s", len(pts), cursor, fin.State)
+	}
+}
+
+// TestSweepStreamIncremental: the PointsSince cursor observes points in
+// publication order with no duplicates and no gaps while the sweep runs.
+func TestSweepStreamIncremental(t *testing.T) {
+	svc := newSvc(t, service.Config{Workers: 2})
+	sw := New(svc, Config{Inflight: 2})
+	st, err := sw.Submit([]byte(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	cursor := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		pts, next, s, ok := sw.PointsSince(st.ID, cursor)
+		if !ok {
+			t.Fatal("sweep vanished mid-stream")
+		}
+		for _, p := range pts {
+			if seen[p.Index] {
+				t.Fatalf("point %d streamed twice", p.Index)
+			}
+			seen[p.Index] = true
+		}
+		cursor = next
+		if s.Terminal() && cursor == s.Points {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream stalled at %d/%d", cursor, s.Points)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("streamed %d points, want 6", len(seen))
+	}
+}
+
+// TestSweepCancel: cancelling a running sweep stops feeding, cancels
+// in-flight points, and lands the sweep in the canceled state.
+func TestSweepCancel(t *testing.T) {
+	svc := newSvc(t, service.Config{Workers: 1, Chunk: 50})
+	sw := New(svc, Config{Inflight: 2})
+	body := `{
+	  "template": {"topology":"mesh8x8","scheme":"pseudo","va":"static",
+	               "warmup":100,"measure":20000,
+	               "workload":{"pattern":"uniform","rate":0.05}},
+	  "axes": {"seed": [1,2,3,4,5,6,7,8]}}`
+	st, err := sw.Submit([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitSweep(t, sw, st.ID)
+	if st.State != "canceled" {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if st.Canceled == 0 {
+		t.Fatalf("no points were canceled: %+v", st)
+	}
+	if st.Done+st.Failed+st.Canceled != st.Points || st.Completed != st.Points {
+		t.Fatalf("point accounting does not close: %+v", st)
+	}
+	if _, err := sw.Cancel(st.ID); err != nil {
+		t.Fatalf("cancel of a terminal sweep: %v", err)
+	}
+	if _, err := sw.Cancel("nope"); !errors.Is(err, ErrUnknownSweep) {
+		t.Fatalf("unknown sweep cancel: %v", err)
+	}
+}
+
+// remoteDispatcher serves every point from a peer service manager, the way
+// cluster dispatch does, so the local manager must not simulate at all.
+type remoteDispatcher struct {
+	peer *service.Manager
+}
+
+func (d *remoteDispatcher) Dispatch(ctx context.Context, key string, req service.Request) (noc.Result, string, error) {
+	j, err := d.peer.Submit(req)
+	if err != nil {
+		return noc.Result{}, RouteFallback, err
+	}
+	if !j.State.Terminal() {
+		if j, err = d.peer.Wait(ctx, j.ID); err != nil {
+			return noc.Result{}, RouteFallback, err
+		}
+	}
+	if j.State != service.StateDone {
+		return noc.Result{}, RouteRemote, errors.New(j.Error)
+	}
+	return *j.Result, RouteRemote, nil
+}
+
+// TestSweepDispatcherRemote: with a dispatcher resolving every point
+// remotely, the local service simulates zero cycles and the sweep's results
+// are bit-identical to the peer's.
+func TestSweepDispatcherRemote(t *testing.T) {
+	local := newSvc(t, service.Config{})
+	peer := newSvc(t, service.Config{})
+	sw := New(local, Config{Dispatcher: &remoteDispatcher{peer: peer}})
+	st, err := sw.Submit([]byte(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitSweep(t, sw, st.ID)
+	if st.State != "done" || st.Done != 6 || st.Remote != 6 {
+		t.Fatalf("sweep finished %+v", st)
+	}
+	if got := local.Stats()["submitted"]; got != 0 {
+		t.Fatalf("local manager saw %d submissions; want 0 (all remote)", got)
+	}
+	pts, _, _, _ := sw.PointsSince(st.ID, 0)
+	for _, p := range pts {
+		if p.Source != RouteRemote {
+			t.Fatalf("point %d source %q", p.Index, p.Source)
+		}
+		j, err := peer.Submit(p.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j.CacheHit || mustJSON(t, *j.Result) != mustJSON(t, *p.Result) {
+			t.Fatalf("point %d diverged from the peer's cached result", p.Index)
+		}
+	}
+}
+
+// TestSweepSubmitRejects: Submit maps grid errors to ErrBadRequest without
+// creating a sweep record.
+func TestSweepSubmitRejects(t *testing.T) {
+	svc := newSvc(t, service.Config{})
+	sw := New(svc, Config{})
+	if _, err := sw.Submit([]byte(`{"template":{"topology":"nope"}}`)); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if got := len(sw.Sweeps()); got != 0 {
+		t.Fatalf("rejected sweep left %d records", got)
+	}
+	if _, ok := sw.Get("s1"); ok {
+		t.Fatal("rejected sweep is queryable")
+	}
+}
+
+// TestSweepShutdown: Shutdown refuses new sweeps and drains active ones.
+func TestSweepShutdown(t *testing.T) {
+	svc := newSvc(t, service.Config{})
+	sw := New(svc, Config{})
+	st, err := sw.Submit([]byte(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := sw.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Submit([]byte(sweepBody)); !errors.Is(err, service.ErrShuttingDown) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+	fin, ok := sw.Get(st.ID)
+	if !ok || !fin.Terminal() {
+		t.Fatalf("sweep not drained by shutdown: %+v", fin)
+	}
+}

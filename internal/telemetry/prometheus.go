@@ -45,6 +45,8 @@ func writeChild(bw *bufio.Writer, f *family, ch *child) {
 	switch f.kind {
 	case kindCounter:
 		fmt.Fprintf(bw, "%s%s %d\n", f.name, lbl, ch.c.Value())
+	case kindCounterFunc:
+		fmt.Fprintf(bw, "%s%s %d\n", f.name, lbl, ch.cfn())
 	case kindGauge:
 		fmt.Fprintf(bw, "%s%s %s\n", f.name, lbl, formatFloat(ch.g.Value()))
 	case kindGaugeFunc:

@@ -166,6 +166,7 @@ type kind uint8
 
 const (
 	kindCounter kind = iota
+	kindCounterFunc
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
@@ -173,7 +174,7 @@ const (
 
 func (k kind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -190,6 +191,7 @@ type child struct {
 	c          *Counter
 	g          *Gauge
 	fn         func() float64
+	cfn        func() uint64
 	h          *Histogram
 }
 
@@ -295,6 +297,22 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 		panic(fmt.Sprintf("telemetry: gauge func %q registered twice", name))
 	}
 	ch := &child{fn: fn}
+	f.byValue[""] = ch
+	f.children = append(f.children, ch)
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at
+// exposition time — for monotonic counts another subsystem already
+// maintains (the disk store's eviction tally). fn must be safe to call
+// concurrently and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.register(name, help, kindCounterFunc, "", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.byValue[""]; ok {
+		panic(fmt.Sprintf("telemetry: counter func %q registered twice", name))
+	}
+	ch := &child{cfn: fn}
 	f.byValue[""] = ch
 	f.children = append(f.children, ch)
 }
