@@ -1,0 +1,220 @@
+// Structure-of-arrays backing store for the router hot path.
+//
+// The per-cycle kernel spends most of its time scanning per-(port, VC) state:
+// admitting heads, allocating VCs, classifying pseudo-circuit candidates and
+// SA requests, and maintaining pseudo-circuits. With per-object Go structs
+// (one heap object per input port, one per VC) every scan is a pointer chase;
+// LaneStore flattens all of it into contiguous slices indexed by
+// (router, port, vc) so the scans are cache-linear and the pseudo-circuit
+// comparator inputs (the register file of Fig. 3) are one flat array walked
+// in a single pass per router.
+//
+// Index scheme (DESIGN.md §17):
+//
+//	input-port index  p = InBase[r] + in            (global, contiguous per router)
+//	output-port index q = OutBase[r] + out
+//	input lane        l = p*NumVCs + vc
+//	output lane       m = q*NumVCs + vc
+//	buffer slot       l*BufDepth + k   (k < BufLen[l], FIFO head at k = 0)
+//
+// InBase/OutBase are prefix sums over the topology's per-router radices, so a
+// router's lanes form one contiguous range and a shard's routers [r0, r1)
+// form one contiguous super-range — the parallel kernel's shards therefore
+// touch disjoint index ranges of the same arrays, no per-shard copies needed.
+//
+// The network owns exactly one LaneStore per simulated network and hands it
+// to routers through their shared config; a router constructed without one
+// (unit tests driving a single router) builds a private single-router store.
+// The naive reference kernel needs no separate code: it is the same router
+// ticking over the same store, only scheduled tick-every-router by the
+// network, so the accessor seam (all mutations go through the router's lane
+// helpers) is exercised identically by every kernel.
+package core
+
+import "fmt"
+
+// LaneLimit bounds VCs per port and ports per router: occupancy and
+// arbitration masks are single uint64 words.
+const LaneLimit = 64
+
+// LaneStore is the flat hot-path state of every router in one network. All
+// slices are preallocated at construction; the steady-state tick path only
+// indexes them, never grows them.
+type LaneStore struct {
+	NumVCs, BufDepth int
+
+	// InBase[r] / OutBase[r] are router r's first global input/output port
+	// indices; the extra final element makes radix lookup a subtraction.
+	InBase  []int
+	OutBase []int
+
+	// Per input lane l = (InBase[r]+in)*NumVCs + vc — the former vcState.
+	BufLen  []int // buffered flits (FIFO, head first)
+	Active  []bool
+	OutPort []int
+	OutVC   []int
+	Class   []int
+	Src     []int
+	Dst     []int
+
+	// Per buffer slot l*BufDepth + k.
+	At []int64 // arrival cycle of each buffered flit (BW takes one cycle)
+
+	// Per input port p = InBase[r]+in: the pseudo-circuit register file
+	// (Fig. 3 (a)) as parallel arrays — the comparator inputs — plus the
+	// occupancy masks the phase scans are driven by.
+	PCInVC  []int
+	PCOut   []int
+	PCValid []bool
+	PCSpec  []bool
+	Occ     []uint64 // bit vc set ⇔ BufLen[lane] > 0
+	Act     []uint64 // bit vc set ⇔ Active[lane]
+
+	// Per output lane m = (OutBase[r]+out)*NumVCs + vc.
+	Credits []int
+	VCBusy  []bool
+
+	// Per output port q = OutBase[r]+out: the speculation history register
+	// (Fig. 5 (b)) and the valid-pseudo-circuit reverse index: PCByOut[q] is
+	// the router-local input port holding a valid pseudo-circuit to this
+	// output, -1 when none (at most one can exist — the paper's termination
+	// rules enforce it), making the former O(ports) outputHasPC scan O(1).
+	HistIn    []int
+	HistValid []bool
+	PCByOut   []int
+}
+
+// NewLaneStore builds the store for routers with the given per-router input
+// and output radices. All "no value" sentinels are -1; credits start at
+// BufDepth (every downstream buffer empty).
+func NewLaneStore(numVCs, bufDepth int, inPorts, outPorts []int) *LaneStore {
+	if numVCs < 1 || numVCs > LaneLimit || bufDepth < 1 {
+		panic(fmt.Sprintf("core: LaneStore needs NumVCs in [1,%d] and BufDepth >= 1, got %d/%d", LaneLimit, numVCs, bufDepth))
+	}
+	if len(inPorts) != len(outPorts) {
+		panic("core: LaneStore radix slices disagree on router count")
+	}
+	s := &LaneStore{
+		NumVCs:   numVCs,
+		BufDepth: bufDepth,
+		InBase:   make([]int, len(inPorts)+1),
+		OutBase:  make([]int, len(outPorts)+1),
+	}
+	for r, p := range inPorts {
+		if p < 1 || p > LaneLimit || outPorts[r] < 1 || outPorts[r] > LaneLimit {
+			panic(fmt.Sprintf("core: LaneStore router %d radix %d/%d outside [1,%d]", r, p, outPorts[r], LaneLimit))
+		}
+		s.InBase[r+1] = s.InBase[r] + p
+		s.OutBase[r+1] = s.OutBase[r] + outPorts[r]
+	}
+	nIn, nOut := s.InBase[len(inPorts)], s.OutBase[len(outPorts)]
+
+	s.BufLen = make([]int, nIn*numVCs)
+	s.Active = make([]bool, nIn*numVCs)
+	s.OutPort = fill(nIn*numVCs, -1)
+	s.OutVC = fill(nIn*numVCs, -1)
+	s.Class = make([]int, nIn*numVCs)
+	s.Src = make([]int, nIn*numVCs)
+	s.Dst = make([]int, nIn*numVCs)
+	s.At = make([]int64, nIn*numVCs*bufDepth)
+
+	s.PCInVC = fill(nIn, -1)
+	s.PCOut = fill(nIn, -1)
+	s.PCValid = make([]bool, nIn)
+	s.PCSpec = make([]bool, nIn)
+	s.Occ = make([]uint64, nIn)
+	s.Act = make([]uint64, nIn)
+
+	s.Credits = make([]int, nOut*numVCs)
+	for i := range s.Credits {
+		s.Credits[i] = bufDepth
+	}
+	s.VCBusy = make([]bool, nOut*numVCs)
+
+	s.HistIn = fill(nOut, -1)
+	s.HistValid = make([]bool, nOut)
+	s.PCByOut = fill(nOut, -1)
+	return s
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// LaneView is one lane materialized back into the struct shape the router
+// used before the SoA restructure — the "struct view" side of the layout
+// round-trip tests and a debugging aid. It is assembled on demand and never
+// used on the hot path.
+type LaneView struct {
+	BufLen  int
+	Active  bool
+	OutPort int
+	OutVC   int
+	Class   int
+	Src     int
+	Dst     int
+	At      []int64 // arrival cycles of the buffered flits, head first
+}
+
+// View materializes the lane of global input port p, VC vc.
+func (s *LaneStore) View(p, vc int) LaneView {
+	l := p*s.NumVCs + vc
+	return LaneView{
+		BufLen:  s.BufLen[l],
+		Active:  s.Active[l],
+		OutPort: s.OutPort[l],
+		OutVC:   s.OutVC[l],
+		Class:   s.Class[l],
+		Src:     s.Src[l],
+		Dst:     s.Dst[l],
+		At:      append([]int64(nil), s.At[l*s.BufDepth:l*s.BufDepth+s.BufLen[l]]...),
+	}
+}
+
+// CheckConsistency verifies every derived structure against the ground-truth
+// arrays for the router whose ports are [inBase, inBase+nIn) and
+// [outBase, outBase+nOut): occupancy masks against BufLen/Active, and
+// PCByOut against the register file. It returns a descriptive error rather
+// than panicking so tests can attribute failures.
+func (s *LaneStore) CheckConsistency(router, inBase, nIn, outBase, nOut int) error {
+	for in := 0; in < nIn; in++ {
+		p := inBase + in
+		var occ, act uint64
+		for vc := 0; vc < s.NumVCs; vc++ {
+			l := p*s.NumVCs + vc
+			if s.BufLen[l] > 0 {
+				occ |= 1 << uint(vc)
+			}
+			if s.Active[l] {
+				act |= 1 << uint(vc)
+			}
+		}
+		if occ != s.Occ[p] {
+			return fmt.Errorf("router %d in %d: occ mask %b, buffers say %b", router, in, s.Occ[p], occ)
+		}
+		if act != s.Act[p] {
+			return fmt.Errorf("router %d in %d: act mask %b, lanes say %b", router, in, s.Act[p], act)
+		}
+	}
+	for out := 0; out < nOut; out++ {
+		q := outBase + out
+		holder := -1
+		for in := 0; in < nIn; in++ {
+			p := inBase + in
+			if s.PCValid[p] && s.PCOut[p] == out {
+				if holder >= 0 {
+					return fmt.Errorf("router %d: inputs %d and %d both hold a pseudo-circuit to output %d", router, holder, in, out)
+				}
+				holder = in
+			}
+		}
+		if holder != s.PCByOut[q] {
+			return fmt.Errorf("router %d out %d: PCByOut %d, register file says %d", router, out, s.PCByOut[q], holder)
+		}
+	}
+	return nil
+}

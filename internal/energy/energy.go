@@ -74,6 +74,16 @@ func (m *Meter) MergeCounts(src *Meter) {
 	src.Writes, src.Reads, src.Traversals, src.Arbitrations = 0, 0, 0, 0
 }
 
+// MergeAll folds every shard meter into m in slice order. The parallel
+// kernel keeps its per-shard meters slice-indexed (one contiguous []Meter
+// owned by the network, shard i writing only element i), so the
+// once-per-cycle drain is a single ordered walk over that slice.
+func (m *Meter) MergeAll(shards []Meter) {
+	for i := range shards {
+		m.MergeCounts(&shards[i])
+	}
+}
+
 // BufferEnergy returns total buffer energy in pJ.
 func (m *Meter) BufferEnergy() float64 {
 	return float64(m.Writes)*m.BufferWrite + float64(m.Reads)*m.BufferRead

@@ -69,8 +69,12 @@ func (v *vcState) reset() {
 	v.pkt = nil
 }
 
+// inputPort holds one input port's state. Ports and their VC lanes live in
+// contiguous value slices (the same layout discipline as the standard
+// router's core.LaneStore, DESIGN.md §17) — iteration takes the address of
+// each element (&in.vcs[v]), never a range copy, so mutation hits the slice.
 type inputPort struct {
-	vcs     []*vcState
+	vcs     []vcState
 	arrival *flit.Flit
 	rrVC    int
 }
@@ -98,8 +102,8 @@ type Router struct {
 	mesh *topology.Mesh
 	base int // first EVC index (NumVCs - numEVCs)
 
-	in  []*inputPort
-	out []*outputPort
+	in  []inputPort
+	out []outputPort
 
 	res     []reservation
 	nextRes []reservation
@@ -128,25 +132,26 @@ func New(id, inPorts, outPorts int, cfg *router.Config, mesh *topology.Mesh, num
 		cfg:     cfg,
 		mesh:    mesh,
 		base:    cfg.NumVCs - numEVCs,
-		in:      make([]*inputPort, inPorts),
-		out:     make([]*outputPort, outPorts),
+		in:      make([]inputPort, inPorts),
+		out:     make([]outputPort, outPorts),
 		busyIn:  make([]bool, inPorts),
 		busyOut: make([]bool, outPorts),
 		chosen:  make([]int, inPorts),
 	}
 	for i := range r.in {
-		p := &inputPort{vcs: make([]*vcState, cfg.NumVCs)}
+		p := &r.in[i]
+		p.vcs = make([]vcState, cfg.NumVCs)
 		for v := range p.vcs {
-			p.vcs[v] = &vcState{outPort: -1, outVC: -1}
+			p.vcs[v] = vcState{outPort: -1, outVC: -1}
 		}
-		r.in[i] = p
 	}
 	for o := range r.out {
-		p := &outputPort{credits: make([]int, cfg.NumVCs), vcBusy: make([]bool, cfg.NumVCs)}
+		p := &r.out[o]
+		p.credits = make([]int, cfg.NumVCs)
+		p.vcBusy = make([]bool, cfg.NumVCs)
 		for v := range p.credits {
 			p.credits[v] = cfg.BufDepth
 		}
-		r.out[o] = p
 	}
 	return r
 }
@@ -172,7 +177,7 @@ func (r *Router) DeliverCredit(out, vc int) {
 			return
 		}
 	}
-	o := r.out[out]
+	o := &r.out[out]
 	o.credits[vc]++
 	if o.credits[vc] > r.cfg.BufDepth {
 		panic(fmt.Sprintf("evc router %d: credit overflow on out %d vc %d", r.ID, out, vc))
@@ -271,8 +276,9 @@ func (r *Router) holdsFlits() bool {
 	if len(r.res) > 0 {
 		return true
 	}
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			if vs.active || len(vs.buf) > 0 {
 				return true
 			}
@@ -290,7 +296,8 @@ func (r *Router) expressPass(now sim.Cycle) {
 	for o := range r.busyOut {
 		r.busyOut[o] = false
 	}
-	for i, in := range r.in {
+	for i := range r.in {
+		in := &r.in[i]
 		f := in.arrival
 		if f == nil || f.ExpressHops == 0 {
 			continue
@@ -327,7 +334,7 @@ func (r *Router) executeReservations(now sim.Cycle) {
 			r.Preemptions++
 			continue
 		}
-		vs := r.in[res.in].vcs[res.vc]
+		vs := &r.in[res.in].vcs[res.vc]
 		if vs.outVC < 0 || r.linkDead(res.out) || !r.hasCredit(res.out, vs.outVC) {
 			continue
 		}
@@ -343,13 +350,14 @@ func (r *Router) executeReservations(now sim.Cycle) {
 }
 
 func (r *Router) hasCredit(out, vc int) bool {
-	o := r.out[out]
+	o := &r.out[out]
 	return o.ejection || o.credits[vc] > 0
 }
 
 func (r *Router) admitHeads() {
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			if vs.active || len(vs.buf) == 0 {
 				continue
 			}
@@ -379,8 +387,9 @@ func (r *Router) allocateVCs(now sim.Cycle) {
 	n := len(r.in)
 	start := int(now) % n
 	for k := 0; k < n; k++ {
-		in := r.in[(start+k)%n]
-		for _, vs := range in.vcs {
+		in := &r.in[(start+k)%n]
+		for v := range in.vcs {
+			vs := &in.vcs[v]
 			if !vs.active || vs.outVC >= 0 || len(vs.buf) == 0 || !vs.buf[0].Kind.IsHead() {
 				continue
 			}
@@ -390,7 +399,7 @@ func (r *Router) allocateVCs(now sim.Cycle) {
 }
 
 func (r *Router) tryVA(vs *vcState) {
-	o := r.out[vs.outPort]
+	o := &r.out[vs.outPort]
 	if o.ejection {
 		vs.outVC = 0
 		return
@@ -424,8 +433,9 @@ func (r *Router) tryVA(vs *vcState) {
 
 func (r *Router) classify(now sim.Cycle) {
 	r.reqs = r.reqs[:0]
-	for i, in := range r.in {
-		for v, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			if !vs.active || len(vs.buf) == 0 || vs.at[0] >= now {
 				continue
 			}
@@ -449,7 +459,7 @@ func (r *Router) switchArbitrate() {
 		r.chosen[i] = -1
 	}
 	for qi, q := range r.reqs {
-		ip := r.in[q.in]
+		ip := &r.in[q.in]
 		if r.chosen[q.in] < 0 {
 			r.chosen[q.in] = qi
 			continue
@@ -459,7 +469,8 @@ func (r *Router) switchArbitrate() {
 			r.chosen[q.in] = qi
 		}
 	}
-	for o, op := range r.out {
+	for o := range r.out {
+		op := &r.out[o]
 		best := -1
 		for i := range r.in {
 			qi := r.chosen[i]
@@ -474,7 +485,7 @@ func (r *Router) switchArbitrate() {
 			continue
 		}
 		q := r.reqs[r.chosen[best]]
-		vs := r.in[q.in].vcs[q.vc]
+		vs := &r.in[q.in].vcs[q.vc]
 		r.cfg.Energy.AddArbitration()
 		r.cfg.Stats.SAGrants++
 		r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: vs.buf[0]})
@@ -484,13 +495,14 @@ func (r *Router) switchArbitrate() {
 }
 
 func (r *Router) processArrivals(now sim.Cycle) {
-	for i, in := range r.in {
+	for i := range r.in {
+		in := &r.in[i]
 		f := in.arrival
 		if f == nil {
 			continue
 		}
 		in.arrival = nil
-		vs := in.vcs[f.VC]
+		vs := &in.vcs[f.VC]
 		if len(vs.buf) >= r.cfg.BufDepth {
 			panic(fmt.Sprintf("evc router %d: buffer overflow at in %d vc %d", r.ID, i, f.VC))
 		}
@@ -501,7 +513,7 @@ func (r *Router) processArrivals(now sim.Cycle) {
 }
 
 func (r *Router) popBuffer(in, vc int) {
-	vs := r.in[in].vcs[vc]
+	vs := &r.in[in].vcs[vc]
 	vs.buf = vs.buf[:copy(vs.buf, vs.buf[1:])]
 	vs.at = vs.at[:copy(vs.at, vs.at[1:])]
 	r.cfg.Energy.AddRead()
@@ -510,8 +522,8 @@ func (r *Router) popBuffer(in, vc int) {
 
 func (r *Router) traverse(in, vc, out int, f *flit.Flit) {
 	r.worked = true
-	vs := r.in[in].vcs[vc]
-	op := r.out[out]
+	vs := &r.in[in].vcs[vc]
+	op := &r.out[out]
 	r.cfg.Stats.Traversals++
 	r.cfg.Energy.AddTraversal()
 	f.VC = vs.outVC
@@ -543,11 +555,13 @@ func (r *Router) Quiescent() bool {
 	if len(r.res) != 0 {
 		return false
 	}
-	for _, in := range r.in {
+	for i := range r.in {
+		in := &r.in[i]
 		if in.arrival != nil {
 			return false
 		}
-		for _, vs := range in.vcs {
+		for v := range in.vcs {
+			vs := &in.vcs[v]
 			if len(vs.buf) != 0 || vs.active {
 				return false
 			}
@@ -558,8 +572,9 @@ func (r *Router) Quiescent() bool {
 
 // CheckInvariants implements network.Node.
 func (r *Router) CheckInvariants() {
-	for i, in := range r.in {
-		for v, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			if len(vs.buf) != len(vs.at) {
 				panic(fmt.Sprintf("evc router %d: buffer desync at in %d vc %d", r.ID, i, v))
 			}
@@ -568,7 +583,8 @@ func (r *Router) CheckInvariants() {
 			}
 		}
 	}
-	for o, op := range r.out {
+	for o := range r.out {
+		op := &r.out[o]
 		if op.ejection {
 			continue
 		}
@@ -586,8 +602,9 @@ func (r *Router) CheckInvariants() {
 // express path dies: its credits track the sink buffer two hops away, so it
 // cannot simply wait out the fault at the intermediate router.
 func (r *Router) FaultScan(fc *router.FaultContext) {
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			for _, f := range vs.buf {
 				if fc.RouterDead || fc.DstDead(f.Packet.Dst) {
 					fc.Kill(f.Packet)
@@ -621,8 +638,9 @@ func (r *Router) FaultScan(fc *router.FaultContext) {
 // (see router.Router.FaultStale): every resident packet whose header entered
 // the network before cutoff is reported for purging.
 func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			for _, f := range vs.buf {
 				if f.Packet.NetStart < cutoff {
 					kill(f.Packet)
@@ -639,8 +657,9 @@ func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
 // router.Router.FaultPurge). Credits for purged flits flow through the
 // normal pop path, so express credits are relayed upstream to their source.
 func (r *Router) FaultPurge(p *flit.Packet, drop func(f *flit.Flit)) {
-	for i, in := range r.in {
-		for v, vs := range in.vcs {
+	for i := range r.in {
+		for v := range r.in[i].vcs {
+			vs := &r.in[i].vcs[v]
 			for k := 0; k < len(vs.buf); {
 				if vs.buf[k].Packet != p {
 					k++

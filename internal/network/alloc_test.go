@@ -19,12 +19,13 @@ import (
 // the simulator allocates nothing — every flit and packet comes from the
 // pool and returns to it.
 func TestSteadyStateZeroAlloc(t *testing.T) {
-	// workers=0 is the sequential kernel; workers=4 exercises the sharded
-	// parallel kernel's buffering/merge path. Step outside Run serializes
-	// shard phases inline (no goroutines), so the same exactly-zero bound
-	// applies: per-shard pend queues, pools and accumulators must all reach
-	// a steady-state footprint.
-	for _, workers := range []int{0, 4} {
+	// workers=0 and workers=1 are the sequential kernel (the SoA active-set
+	// walk); workers=4 exercises the sharded parallel kernel's
+	// buffering/merge path over the same shared LaneStore. Step outside Run
+	// serializes shard phases inline (no goroutines), so the same
+	// exactly-zero bound applies: per-shard pend queues, pools and
+	// accumulators must all reach a steady-state footprint.
+	for _, workers := range []int{0, 1, 4} {
 		workers := workers
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			n, w := buildAllocNet(workers)

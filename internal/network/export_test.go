@@ -1,0 +1,7 @@
+package network
+
+import "pseudocircuit/internal/core"
+
+// Lanes exposes the shared structure-of-arrays lane store to tests (layout
+// round-trip and consistency checks).
+func (n *Network) Lanes() *core.LaneStore { return n.lanes }

@@ -221,13 +221,12 @@ type pending struct {
 // sequential tick loop), then drains the shard meters in shard order.
 type shard struct {
 	net    *Network
+	idx    int // index into the network's shardStats/shardEnergy slices
 	r0, r1 int // routers [r0, r1)
 	n0, n1 int // NI nodes [n0, n1)
 
-	rcfg   *router.Config
-	stats  stats.Network
-	energy energy.Meter
-	pool   *flit.Pool
+	rcfg *router.Config
+	pool *flit.Pool
 
 	pendInj  []pending
 	pendTick []pending
@@ -253,6 +252,11 @@ func (sh *shard) credit(id, in, vc int) {
 	sh.pendTick = append(sh.pendTick, pending{lat: lat, d: d})
 }
 
+// routeTabLimit caps the route-table size (entries = classes × routers ×
+// nodes); topologies past it fall back to dynamic route computation. 1M
+// single-byte entries covers every configuration in the experiment suite.
+const routeTabLimit = 1 << 20
+
 // Network is a runnable simulated network.
 type Network struct {
 	cfg     Config
@@ -264,6 +268,22 @@ type Network struct {
 	nis     []*ni
 	ups     [][]upstream // [router][inPort]
 	rcfg    *router.Config
+	// lanes is the structure-of-arrays hot-path store every standard router's
+	// per-(port, vc) state lives in (core.LaneStore; DESIGN.md §17). The
+	// network owns it so the arrays span all routers contiguously — the
+	// active-set walk touches one cache-linear region, and parallel shards
+	// operate on disjoint index ranges of the same slices. Comparison routers
+	// (EVC) keep private state and leave their region untouched.
+	lanes *core.LaneStore
+	// routeTab caches the pure dimension-order route for every
+	// (class, router, dst) triple, indexed (class*Routers + r)*Nodes + dst.
+	// Ports fit in int8 (core.LaneLimit caps radix at 64). The fault-free
+	// hot path reads it instead of re-deriving grid coordinates per hop;
+	// fault-aware routing (RouteAvoid) stays dynamic because it depends on
+	// live link state. nil when the topology is too large to tabulate
+	// (routeTabLimit).
+	routeTab []int8
+	nNodes   int
 
 	Stats  *stats.Network
 	Energy *energy.Meter
@@ -273,7 +293,8 @@ type Network struct {
 	tracer   *obs.Tracer
 
 	now      sim.Cycle
-	ring     [][]delivery // future deliveries, indexed by cycle % len(ring)
+	ring     [][]delivery // future deliveries, indexed by cycle & ringMask
+	ringMask int          // len(ring)-1; the ring is a power of two so slot lookup divides nothing
 	rng      *sim.RNG
 	nextID   uint64
 	inFlight int // packets injected but not yet fully ejected
@@ -328,13 +349,17 @@ type Network struct {
 	relPending int
 
 	// Parallel kernel state (nil/zero when Opts.Workers <= 1): the shards,
-	// the shared completion channel, whether worker goroutines are live
-	// (between startWorkers/stopWorkers, i.e. inside Run/Drain), and the
+	// their slice-indexed stats/energy accumulators (shard i owns element i;
+	// contiguous so the per-cycle drain walks two flat slices in shard
+	// order), the shared completion channel, whether worker goroutines are
+	// live (between startWorkers/stopWorkers, i.e. inside Run/Drain), and the
 	// due-deliveries slice of the cycle in flight, published to workers.
-	shards     []*shard
-	done       chan struct{}
-	parRunning bool
-	curDue     []delivery
+	shards      []*shard
+	shardStats  []stats.Network
+	shardEnergy []energy.Meter
+	done        chan struct{}
+	parRunning  bool
+	curDue      []delivery
 
 	// CheckInvariants enables per-cycle router invariant checking (tests).
 	CheckInvariants bool
@@ -397,7 +422,29 @@ func New(cfg Config) *Network {
 			}
 		}
 	}
-	n.ring = make([][]delivery, maxLat+3)
+	ringLen := 1
+	for ringLen < maxLat+3 {
+		ringLen <<= 1
+	}
+	n.ring = make([][]delivery, ringLen)
+	n.ringMask = ringLen - 1
+
+	// Route table: dimension-order routing is a pure function of
+	// (class, router, dst), so tabulate it once and turn the per-hop route
+	// computation into a byte load. Skipped (falling back to the dynamic
+	// computation) only for topologies too large to tabulate cheaply.
+	n.nNodes = t.Nodes()
+	if cls := engine.NumClasses(); cls*t.Routers()*n.nNodes <= routeTabLimit {
+		n.routeTab = make([]int8, cls*t.Routers()*n.nNodes)
+		for c := 0; c < cls; c++ {
+			for r := 0; r < t.Routers(); r++ {
+				row := n.routeTab[(c*t.Routers()+r)*n.nNodes:]
+				for d := 0; d < n.nNodes; d++ {
+					row[d] = int8(engine.Route(r, d, c))
+				}
+			}
+		}
+	}
 
 	// Fault schedule: validated defensively (the spec layer validates with
 	// the real horizon; here only structure matters), replayed by a State
@@ -449,9 +496,19 @@ func New(cfg Config) *Network {
 		}
 	}
 
+	// The network owns the structure-of-arrays hot-path store; every standard
+	// router gets a contiguous region of it (prefix-summed by radix).
+	inRadix := make([]int, t.Routers())
+	outRadix := make([]int, t.Routers())
+	for r := range inRadix {
+		inRadix[r], outRadix[r] = t.InPorts(r), t.OutPorts(r)
+	}
+	n.lanes = core.NewLaneStore(cfg.NumVCs, cfg.BufDepth, inRadix, outRadix)
+
 	n.rcfg = &router.Config{
 		NumVCs:   cfg.NumVCs,
 		BufDepth: cfg.BufDepth,
+		Lanes:    n.lanes,
 		Opts:     cfg.Opts,
 		Alloc:    alloc,
 		Energy:   n.Energy,
@@ -476,10 +533,13 @@ func New(cfg Config) *Network {
 		}
 		if w > 1 {
 			n.shards = make([]*shard, w)
+			n.shardStats = make([]stats.Network, w)
+			n.shardEnergy = make([]energy.Meter, w)
 			n.done = make(chan struct{}, w)
 			for i := range n.shards {
 				sh := &shard{
 					net:  n,
+					idx:  i,
 					r0:   i * t.Routers() / w,
 					r1:   (i + 1) * t.Routers() / w,
 					n0:   i * t.Nodes() / w,
@@ -488,8 +548,8 @@ func New(cfg Config) *Network {
 					work: make(chan bool, 1),
 				}
 				rcfg := *n.rcfg
-				rcfg.Energy = &sh.energy
-				rcfg.Stats = &sh.stats
+				rcfg.Energy = &n.shardEnergy[i]
+				rcfg.Stats = &n.shardStats[i]
 				rcfg.Send = sh.send
 				rcfg.Credit = sh.credit
 				sh.rcfg = &rcfg
@@ -677,6 +737,9 @@ func (n *Network) resolveFlit(id, out int, f *flit.Flit) (int, delivery) {
 // main phase, strictly before shard phases run.
 func (n *Network) routeFor(r, dst, class int) int {
 	if n.faults == nil {
+		if n.routeTab != nil {
+			return int(n.routeTab[(class*len(n.routers)+r)*n.nNodes+dst])
+		}
 		return n.engine.Route(r, dst, class)
 	}
 	return n.engine.RouteAvoid(r, dst, class, n.wiredFn[r], n.deadFn[r])
@@ -712,7 +775,7 @@ func (n *Network) schedule(latency int, d delivery) {
 	if latency < 1 || latency >= len(n.ring) {
 		panic(fmt.Sprintf("network: link latency %d outside ring", latency))
 	}
-	slot := (int(n.now) + latency) % len(n.ring)
+	slot := (int(n.now) + latency) & n.ringMask
 	n.ring[slot] = append(n.ring[slot], d)
 }
 
@@ -749,7 +812,7 @@ func (n *Network) Step(w Workload) {
 	// its target router. A schedule always targets a future ring slot
 	// (latency >= 1, < len(ring)), so the slot's backing array can be
 	// reused once drained.
-	slot := int(n.now) % len(n.ring)
+	slot := int(n.now) & n.ringMask
 	due := n.ring[slot]
 	for _, d := range due {
 		switch {
@@ -842,7 +905,7 @@ func (n *Network) Step(w Workload) {
 // otherwise it runs inline in shard order, which is the same schedule
 // serialized.
 func (n *Network) stepSharded(w Workload) {
-	slot := int(n.now) % len(n.ring)
+	slot := int(n.now) & n.ringMask
 	due := n.ring[slot]
 	for _, d := range due {
 		if d.router >= 0 {
@@ -905,10 +968,8 @@ func (n *Network) stepSharded(w Workload) {
 			sh.pendTick = sh.pendTick[:0]
 		}
 	}
-	for _, sh := range n.shards {
-		n.Stats.MergeCounters(&sh.stats)
-		n.Energy.MergeCounts(&sh.energy)
-	}
+	n.Stats.MergeAll(n.shardStats)
+	n.Energy.MergeAll(n.shardEnergy)
 	n.now++
 	n.Stats.MeasuredTo = n.now
 	if n.series != nil {

@@ -1,0 +1,103 @@
+package network_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pseudocircuit/internal/core"
+	"pseudocircuit/internal/network"
+	"pseudocircuit/internal/routing"
+	"pseudocircuit/internal/sim"
+	"pseudocircuit/internal/topology"
+	"pseudocircuit/internal/traffic"
+	"pseudocircuit/internal/vcalloc"
+)
+
+// TestLaneStoreRoundTrip drives two identically seeded networks — the naive
+// reference kernel and the active-set kernel, both over the shared
+// structure-of-arrays LaneStore — through randomized tick bursts and, after
+// each burst, checks the layout from both sides:
+//
+//   - flat view: LaneStore.CheckConsistency re-derives every occupancy mask
+//     and the PCByOut reverse index from the ground-truth arrays for every
+//     router;
+//   - struct view: LaneStore.View materializes each lane back into the
+//     pre-SoA struct shape, and the two kernels' views must be deeply equal
+//     lane by lane — the flat layout holds exactly the state the struct
+//     layout would, whichever kernel mutated it.
+func TestLaneStoreRoundTrip(t *testing.T) {
+	build := func(naive bool) (*network.Network, network.Workload, topology.Topology) {
+		topo := topology.NewMesh(4, 4)
+		cfg := network.DefaultConfig(topo)
+		cfg.Opts = core.DefaultOptions(core.PseudoSB)
+		cfg.Algorithm = routing.XY
+		cfg.Policy = vcalloc.Static
+		cfg.Naive = naive
+		n := network.New(cfg)
+		n.CheckInvariants = true
+		w := traffic.NewSynthetic(traffic.Config{
+			Pattern: traffic.UniformRandom, Nodes: topo.Nodes(), Rate: 0.12,
+		}, sim.NewRNG(11))
+		return n, w, topo
+	}
+	nA, wA, topo := build(true)
+	nB, wB, _ := build(false)
+	sA, sB := nA.Lanes(), nB.Lanes()
+	if sA == nil || sB == nil {
+		t.Fatal("standard-router networks must own a LaneStore")
+	}
+
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 40; trial++ {
+		burst := 1 + rng.Intn(13)
+		for i := 0; i < burst; i++ {
+			nA.Step(wA)
+			nB.Step(wB)
+		}
+		for _, s := range []*core.LaneStore{sA, sB} {
+			for r := 0; r < topo.Routers(); r++ {
+				inBase, outBase := s.InBase[r], s.OutBase[r]
+				nIn, nOut := s.InBase[r+1]-inBase, s.OutBase[r+1]-outBase
+				if err := s.CheckConsistency(r, inBase, nIn, outBase, nOut); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+		}
+		for p := 0; p < len(sA.Occ); p++ {
+			for vc := 0; vc < sA.NumVCs; vc++ {
+				va, vb := sA.View(p, vc), sB.View(p, vc)
+				if !reflect.DeepEqual(va, vb) {
+					t.Fatalf("trial %d: lane view diverges at port %d vc %d:\nnaive:  %+v\nactive: %+v",
+						trial, p, vc, va, vb)
+				}
+			}
+		}
+	}
+}
+
+// TestLaneStorePerRouterRanges pins the index scheme the flat layout is
+// built on (DESIGN.md §17): InBase/OutBase are prefix sums over the
+// topology's radices, so every router owns one contiguous lane range and the
+// array lengths are exactly the range totals.
+func TestLaneStorePerRouterRanges(t *testing.T) {
+	topo := topology.NewMECS(3, 3, 2) // asymmetric radix: inputs != outputs
+	cfg := network.DefaultConfig(topo)
+	n := network.New(cfg)
+	s := n.Lanes()
+	for r := 0; r < topo.Routers(); r++ {
+		if got := s.InBase[r+1] - s.InBase[r]; got != topo.InPorts(r) {
+			t.Errorf("router %d: InBase radix %d, topology says %d", r, got, topo.InPorts(r))
+		}
+		if got := s.OutBase[r+1] - s.OutBase[r]; got != topo.OutPorts(r) {
+			t.Errorf("router %d: OutBase radix %d, topology says %d", r, got, topo.OutPorts(r))
+		}
+	}
+	nIn := s.InBase[topo.Routers()]
+	nOut := s.OutBase[topo.Routers()]
+	if len(s.BufLen) != nIn*cfg.NumVCs || len(s.At) != nIn*cfg.NumVCs*cfg.BufDepth {
+		t.Errorf("input-lane arrays sized %d/%d, want %d lanes × depth %d", len(s.BufLen), len(s.At), nIn*cfg.NumVCs, cfg.BufDepth)
+	}
+	if len(s.Credits) != nOut*cfg.NumVCs || len(s.PCByOut) != nOut {
+		t.Errorf("output arrays sized %d/%d, want %d lanes / %d ports", len(s.Credits), len(s.PCByOut), nOut*cfg.NumVCs, nOut)
+	}
+}

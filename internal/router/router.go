@@ -26,10 +26,22 @@
 //
 // All cross-router communication (flits, credits) is mediated by callbacks
 // with at least one cycle of latency, so routers may tick in any order.
+//
+// Hot-path state lives in the structure-of-arrays core.LaneStore owned by
+// the network (DESIGN.md §17): per-(port, vc) lane metadata, the
+// pseudo-circuit register file, per-port occupancy masks, and per-output
+// credits are contiguous slices the phases below walk linearly, with the
+// occupancy masks letting every scan skip empty lanes without touching them.
+// Flit and packet pointers stay in router-local flat arrays (same layout,
+// router-owned) so core carries no dependency on the data plane. All
+// mutations go through the lane helper methods, which keep the derived masks
+// and the PCByOut reverse index in lockstep with the ground-truth arrays —
+// CheckInvariants re-derives and verifies them.
 package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pseudocircuit/internal/core"
 	"pseudocircuit/internal/energy"
@@ -58,6 +70,10 @@ type Config struct {
 	Stats    *stats.Network
 	Send     SendFunc
 	Credit   CreditFunc
+	// Lanes is the network-owned structure-of-arrays hot-path store shared by
+	// every router (and every shard — shards touch disjoint index ranges).
+	// nil builds a private single-router store (unit tests).
+	Lanes *core.LaneStore
 	// Reg enables per-router/per-port counters when non-nil (observation
 	// only; increments mirror the Stats sites exactly).
 	Reg *stats.Registry
@@ -74,67 +90,6 @@ type Config struct {
 	Reroute func(id, dst, class int) int
 }
 
-// vcState tracks the packet currently owning an input VC (wormhole: one
-// packet drains at a time; the FIFO buffer may hold flits of queued
-// successors).
-type vcState struct {
-	buf     []*flit.Flit
-	at      []sim.Cycle // arrival cycle of each buffered flit (BW takes one cycle)
-	active  bool        // a packet's header has been admitted and its tail has not traversed
-	outPort int
-	outVC   int // -1 until VA succeeds
-	class   int
-	src     int
-	dst     int
-	pkt     *flit.Packet // the packet owning the VC (fault teardown needs it even when buf is empty)
-}
-
-func (v *vcState) reset() {
-	v.active = false
-	v.outPort = -1
-	v.outVC = -1
-	v.pkt = nil
-}
-
-type inputPort struct {
-	vcs []*vcState
-	pc  core.Register
-	// hist backs speculation: the input's most recent connections
-	// (depth 1 = the paper's register pair; SpecHistoryDepth extends it).
-	hist core.InputHistory
-	// arrival staged by Deliver for processing at the end of this cycle.
-	arrival *flit.Flit
-	// rrVC is the round-robin pointer for SA input arbitration.
-	rrVC int
-	// lastOut tracks the previous crossbar connection through this port for
-	// the Fig. 1 temporal-locality measurement (independent of scheme).
-	lastOut int
-}
-
-type outputPort struct {
-	credits  []int
-	vcBusy   []bool
-	hist     core.History
-	rrIn     int // round-robin pointer for SA output arbitration
-	ejection bool
-}
-
-func (o *outputPort) hasCredit(vc int) bool {
-	return o.ejection || o.credits[vc] > 0
-}
-
-func (o *outputPort) anyCredit() bool {
-	if o.ejection {
-		return true
-	}
-	for _, c := range o.credits {
-		if c > 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // reservation is a switch-arbitration grant: flit at (in, vc) traverses to
 // out next cycle.
 type reservation struct {
@@ -146,20 +101,73 @@ type saRequest struct {
 	in, vc, out int
 }
 
-// Router is one pipelined router instance.
+// Router is one pipelined router instance. All per-(port, vc) state lives in
+// subslices of the shared core.LaneStore, re-based so local indices are
+// in*V+vc (input lanes) and out*V+vc (output lanes); see the package comment
+// for the layout.
 type Router struct {
 	ID  int
 	cfg *Config
 
-	in  []*inputPort
-	out []*outputPort
+	nIn, nOut int
+	V, D      int // NumVCs, BufDepth
+
+	// Input-lane views (len nIn*V; buffer slots len nIn*V*D).
+	bufLen  []int
+	activeL []bool
+	outPort []int
+	outVC   []int
+	classL  []int
+	srcL    []int
+	dstL    []int
+	at      []int64
+	// Router-local flat pointer arrays, same indexing as the store.
+	buf []*flit.Flit // lane*D + k
+	pkt []*flit.Packet
+
+	// Input-port views (len nIn).
+	pcInVC  []int
+	pcOut   []int
+	pcValid []bool
+	pcSpec  []bool
+	occ     []uint64
+	act     []uint64
+
+	// Output-lane and output-port views.
+	credits   []int // len nOut*V
+	vcBusy    []bool
+	histIn    []int // len nOut
+	histValid []bool
+	pcByOut   []int
+
+	// Router-local per-port state off the comparator path.
+	hist     []core.InputHistory // speculation history (depth N extension)
+	arrival  []*flit.Flit        // staged by Deliver for this cycle
+	rrVC     []int               // SA input-arbitration round-robin pointers
+	lastOut  []int               // Fig. 1 temporal-locality measurement
+	rrIn     []int               // SA output-arbitration round-robin pointers
+	ejection []bool
+
+	// Derived masks and counters that keep the per-cycle maintenance scans
+	// work-proportional; all are redundant with the views above and verified
+	// by CheckInvariants.
+	va       []uint64 // per input port: bit vc ⇔ active lane awaiting VA (outVC < 0)
+	pcMask   uint64   // bit in ⇔ pcValid[in]
+	heldMask uint64   // bit out ⇔ pcByOut[out] >= 0
+	histMask uint64   // bit out ⇔ histValid[out]
+	outCred  []int    // per output port: count of VCs with credits > 0
+	headAt   []int64  // per input lane: arrival cycle of the head flit (= At[l*D])
+	headHead []bool   // per input lane: head flit is a header
+	vaNow    int64    // cycle vaStart was computed for (-2 = never)
+	vaStart  int      // cached int(vaNow) % nIn, advanced incrementally
 
 	res     []reservation // STs to execute this cycle
 	nextRes []reservation // grants made this cycle
 
 	// Per-tick scratch, reused across cycles.
-	busyIn  []bool
-	busyOut []bool
+	busyIn  uint64 // input ports whose crossbar row is in use this cycle
+	busyOut uint64 // output ports whose crossbar column is in use this cycle
+	arrMask uint64 // input ports with a staged arrival this cycle
 	reqs    []saRequest
 	chosen  []int // per input port: index into reqs selected by input arbitration, -1 none
 	pcCand  []int // per input port: vc of pseudo-circuit candidate, -1 none
@@ -193,41 +201,89 @@ func New(id, inPorts, outPorts int, cfg *Config) *Router {
 	if err := cfg.Opts.Validate(); err != nil {
 		panic(err)
 	}
+	ls := cfg.Lanes
+	inBase, outBase := 0, 0
+	if ls == nil {
+		ls = core.NewLaneStore(cfg.NumVCs, cfg.BufDepth, []int{inPorts}, []int{outPorts})
+	} else {
+		inBase, outBase = ls.InBase[id], ls.OutBase[id]
+		if ls.InBase[id+1]-inBase != inPorts || ls.OutBase[id+1]-outBase != outPorts {
+			panic(fmt.Sprintf("router %d: radix %d/%d disagrees with the lane store's %d/%d",
+				id, inPorts, outPorts, ls.InBase[id+1]-inBase, ls.OutBase[id+1]-outBase))
+		}
+		if ls.NumVCs != cfg.NumVCs || ls.BufDepth != cfg.BufDepth {
+			panic(fmt.Sprintf("router %d: VC/depth %d/%d disagrees with the lane store's %d/%d",
+				id, cfg.NumVCs, cfg.BufDepth, ls.NumVCs, ls.BufDepth))
+		}
+	}
+	V, D := cfg.NumVCs, cfg.BufDepth
 	r := &Router{
-		ID:       id,
-		cfg:      cfg,
-		in:       make([]*inputPort, inPorts),
-		out:      make([]*outputPort, outPorts),
-		busyIn:   make([]bool, inPorts),
-		busyOut:  make([]bool, outPorts),
+		ID:   id,
+		cfg:  cfg,
+		nIn:  inPorts,
+		nOut: outPorts,
+		V:    V,
+		D:    D,
+
+		bufLen:  ls.BufLen[inBase*V : (inBase+inPorts)*V],
+		activeL: ls.Active[inBase*V : (inBase+inPorts)*V],
+		outPort: ls.OutPort[inBase*V : (inBase+inPorts)*V],
+		outVC:   ls.OutVC[inBase*V : (inBase+inPorts)*V],
+		classL:  ls.Class[inBase*V : (inBase+inPorts)*V],
+		srcL:    ls.Src[inBase*V : (inBase+inPorts)*V],
+		dstL:    ls.Dst[inBase*V : (inBase+inPorts)*V],
+		at:      ls.At[inBase*V*D : (inBase+inPorts)*V*D],
+		buf:     make([]*flit.Flit, inPorts*V*D),
+		pkt:     make([]*flit.Packet, inPorts*V),
+
+		pcInVC:  ls.PCInVC[inBase : inBase+inPorts],
+		pcOut:   ls.PCOut[inBase : inBase+inPorts],
+		pcValid: ls.PCValid[inBase : inBase+inPorts],
+		pcSpec:  ls.PCSpec[inBase : inBase+inPorts],
+		occ:     ls.Occ[inBase : inBase+inPorts],
+		act:     ls.Act[inBase : inBase+inPorts],
+
+		credits:   ls.Credits[outBase*V : (outBase+outPorts)*V],
+		vcBusy:    ls.VCBusy[outBase*V : (outBase+outPorts)*V],
+		histIn:    ls.HistIn[outBase : outBase+outPorts],
+		histValid: ls.HistValid[outBase : outBase+outPorts],
+		pcByOut:   ls.PCByOut[outBase : outBase+outPorts],
+
+		hist:     make([]core.InputHistory, inPorts),
+		arrival:  make([]*flit.Flit, inPorts),
+		rrVC:     make([]int, inPorts),
+		lastOut:  make([]int, inPorts),
+		rrIn:     make([]int, outPorts),
+		ejection: make([]bool, outPorts),
+
 		chosen:   make([]int, inPorts),
 		pcCand:   make([]int, inPorts),
+		va:       make([]uint64, inPorts),
+		outCred:  make([]int, outPorts),
+		headAt:   make([]int64, inPorts*V),
+		headHead: make([]bool, inPorts*V),
+		vaNow:    -2,
 		outSends: make([]uint64, outPorts),
 		rs:       cfg.Reg.Attach(id, inPorts, outPorts),
 		tr:       cfg.Trace,
 	}
-	for i := range r.in {
-		p := &inputPort{
-			vcs:     make([]*vcState, cfg.NumVCs),
-			pc:      core.NewRegister(),
-			hist:    core.NewInputHistory(cfg.Opts.SpecHistoryDepth),
-			lastOut: -1,
-		}
-		for v := range p.vcs {
-			p.vcs[v] = &vcState{outPort: -1, outVC: -1}
-		}
-		r.in[i] = p
+	for i := 0; i < inPorts; i++ {
+		r.hist[i] = core.NewInputHistory(cfg.Opts.SpecHistoryDepth)
+		r.lastOut[i] = -1
 	}
-	for o := range r.out {
-		p := &outputPort{
-			credits: make([]int, cfg.NumVCs),
-			vcBusy:  make([]bool, cfg.NumVCs),
-			hist:    core.NewHistory(),
+	// Lane sentinels: a fresh store arrives pre-initialized, but a store
+	// region may also be re-sliced by tests; normalize defensively.
+	for l := range r.outPort {
+		if !r.activeL[l] && r.bufLen[l] == 0 {
+			r.outPort[l], r.outVC[l] = -1, -1
 		}
-		for v := range p.credits {
-			p.credits[v] = cfg.BufDepth
+	}
+	for o := 0; o < outPorts; o++ {
+		for vc := 0; vc < V; vc++ {
+			if r.credits[o*V+vc] > 0 {
+				r.outCred[o]++
+			}
 		}
-		r.out[o] = p
 	}
 	return r
 }
@@ -235,26 +291,177 @@ func New(id, inPorts, outPorts int, cfg *Config) *Router {
 // MarkEjection flags output port out as a terminal (ejection) port: VC state
 // and credits are unconstrained because the receiver NI sinks flits at link
 // rate.
-func (r *Router) MarkEjection(out int) { r.out[out].ejection = true }
+func (r *Router) MarkEjection(out int) { r.ejection[out] = true }
+
+// --- lane helpers: the accessor seam ----------------------------------------
+//
+// Every mutation of lane ground truth flows through these, keeping the
+// occupancy masks and PCByOut consistent by construction.
+
+// pushBuf appends a flit to lane (in, vc) and returns the new depth.
+func (r *Router) pushBuf(in, vc int, f *flit.Flit, now sim.Cycle) int {
+	l := in*r.V + vc
+	n := r.bufLen[l]
+	b := l*r.D + n
+	r.buf[b] = f
+	r.at[b] = int64(now)
+	r.bufLen[l] = n + 1
+	r.occ[in] |= 1 << uint(vc)
+	if n == 0 {
+		r.headAt[l] = int64(now)
+		r.headHead[l] = f.Kind.IsHead()
+	}
+	return n + 1
+}
+
+// popHead removes the head flit of lane (in, vc), paying buffer-read energy.
+// The shift is a manual loop: buffers are a handful of flits deep, where
+// memmove call overhead exceeds the moves themselves.
+func (r *Router) popHead(in, vc int) {
+	l := in*r.V + vc
+	b := l * r.D
+	n := r.bufLen[l]
+	for k := b; k < b+n-1; k++ {
+		r.buf[k] = r.buf[k+1]
+		r.at[k] = r.at[k+1]
+	}
+	r.bufLen[l] = n - 1
+	if n == 1 {
+		r.occ[in] &^= 1 << uint(vc)
+	} else {
+		r.headAt[l] = r.at[b]
+		r.headHead[l] = r.buf[b].Kind.IsHead()
+	}
+	r.cfg.Energy.AddRead()
+}
+
+// removeBufAt unlinks buffer slot k of lane (in, vc) (fault purge only).
+func (r *Router) removeBufAt(in, vc, k int) {
+	l := in*r.V + vc
+	b := l * r.D
+	n := r.bufLen[l]
+	for j := b + k; j < b+n-1; j++ {
+		r.buf[j] = r.buf[j+1]
+		r.at[j] = r.at[j+1]
+	}
+	r.bufLen[l] = n - 1
+	if n == 1 {
+		r.occ[in] &^= 1 << uint(vc)
+	} else if k == 0 {
+		r.headAt[l] = r.at[b]
+		r.headHead[l] = r.buf[b].Kind.IsHead()
+	}
+}
+
+// resetLane releases lane (in, vc) after a tail traversal or a purge.
+func (r *Router) resetLane(in, vc int) {
+	l := in*r.V + vc
+	r.activeL[l] = false
+	r.outPort[l] = -1
+	r.outVC[l] = -1
+	r.pkt[l] = nil
+	r.act[in] &^= 1 << uint(vc)
+	r.va[in] &^= 1 << uint(vc)
+}
+
+// pcMatch is the pseudo-circuit comparator (Fig. 3): may a flit on input VC
+// vc destined for output port out reuse input port in's circuit?
+func (r *Router) pcMatch(in, vc, out int) bool {
+	return r.pcValid[in] && r.pcInVC[in] == vc && r.pcOut[in] == out
+}
+
+// pcTerminate disconnects input port in's circuit, clearing the valid bit
+// without touching the registers (§3.C). Caller has checked pcValid[in].
+func (r *Router) pcTerminate(in int) {
+	r.pcValid[in] = false
+	r.pcMask &^= 1 << uint(in)
+	out := r.pcOut[in]
+	r.pcByOut[out] = -1
+	r.heldMask &^= 1 << uint(out)
+}
+
+// pcSet records a fresh connection after a crossbar traversal, making the
+// circuit valid and non-speculative.
+func (r *Router) pcSet(in, vc, out int) {
+	if r.pcValid[in] && r.pcOut[in] != out {
+		r.pcByOut[r.pcOut[in]] = -1
+		r.heldMask &^= 1 << uint(r.pcOut[in])
+	}
+	r.pcInVC[in] = vc
+	r.pcOut[in] = out
+	r.pcValid[in] = true
+	r.pcSpec[in] = false
+	r.pcMask |= 1 << uint(in)
+	r.pcByOut[out] = in
+	r.heldMask |= 1 << uint(out)
+}
+
+// pcSetSpeculative connects input port in's register to (vc, out)
+// speculatively (§4.A); the caller guarantees the register is invalid and the
+// output holds no circuit.
+func (r *Router) pcSetSpeculative(in, vc, out int) {
+	if r.pcValid[in] {
+		panic("router: speculative connect on a valid pseudo-circuit")
+	}
+	r.pcInVC[in] = vc
+	r.pcOut[in] = out
+	r.pcValid[in] = true
+	r.pcSpec[in] = true
+	r.pcMask |= 1 << uint(in)
+	r.pcByOut[out] = in
+	r.heldMask |= 1 << uint(out)
+}
+
+// pcClear tears input port in's circuit down completely (fault teardown):
+// valid bit and both registers reset, so neither speculation path can
+// reconnect it — the crossbar state it describes may be wrong when the link
+// returns.
+func (r *Router) pcClear(in int) {
+	if r.pcValid[in] {
+		r.pcByOut[r.pcOut[in]] = -1
+		r.heldMask &^= 1 << uint(r.pcOut[in])
+	}
+	r.pcInVC[in] = -1
+	r.pcOut[in] = -1
+	r.pcValid[in] = false
+	r.pcSpec[in] = false
+	r.pcMask &^= 1 << uint(in)
+}
+
+// -----------------------------------------------------------------------------
 
 // Deliver stages a flit arriving on input port in this cycle. The network
 // calls it before Tick; at most one flit per input port per cycle (link
 // bandwidth).
 func (r *Router) Deliver(in int, f *flit.Flit) {
-	if r.in[in].arrival != nil {
+	if r.arrival[in] != nil {
 		panic(fmt.Sprintf("router %d: two flits on input port %d in one cycle", r.ID, in))
 	}
-	r.in[in].arrival = f
+	r.arrival[in] = f
+	r.arrMask |= 1 << uint(in)
 }
 
 // DeliverCredit returns one credit for (output port out, VC vc); the network
 // calls it when the downstream hop frees a buffer slot.
 func (r *Router) DeliverCredit(out, vc int) {
-	o := r.out[out]
-	o.credits[vc]++
-	if o.credits[vc] > r.cfg.BufDepth {
+	m := out*r.V + vc
+	r.credits[m]++
+	if r.credits[m] == 1 {
+		r.outCred[out]++
+	}
+	if r.credits[m] > r.D {
 		panic(fmt.Sprintf("router %d: credit overflow on out %d vc %d", r.ID, out, vc))
 	}
+}
+
+func (r *Router) hasCredit(out, vc int) bool {
+	return r.ejection[out] || r.credits[out*r.V+vc] > 0
+}
+
+// anyCredit reports whether any VC of output port out has credit; the
+// outCred counters make it O(1).
+func (r *Router) anyCredit(out int) bool {
+	return r.ejection[out] || r.outCred[out] > 0
 }
 
 // Tick advances the router by one cycle. It reports whether the router must
@@ -276,16 +483,15 @@ func (r *Router) Tick(now sim.Cycle) bool {
 }
 
 // holdsFlits reports whether any state demands a tick next cycle: pending
-// switch traversals, buffered flits, or an in-flight packet owning a VC.
+// switch traversals, buffered flits, or an in-flight packet owning a VC. The
+// occupancy masks make this an O(ports) word scan.
 func (r *Router) holdsFlits() bool {
 	if len(r.res) > 0 {
 		return true
 	}
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
-			if vs.active || len(vs.buf) > 0 {
-				return true
-			}
+	for i := 0; i < r.nIn; i++ {
+		if r.occ[i]|r.act[i] != 0 {
+			return true
 		}
 	}
 	return false
@@ -294,18 +500,12 @@ func (r *Router) holdsFlits() bool {
 // executeReservations performs ST for last cycle's SA grants (phase 1) and
 // computes this cycle's crossbar busy sets.
 func (r *Router) executeReservations(now sim.Cycle) {
-	for i := range r.busyIn {
-		r.busyIn[i] = false
-	}
-	for o := range r.busyOut {
-		r.busyOut[o] = false
-	}
+	r.busyIn, r.busyOut = 0, 0
 	for _, res := range r.res {
-		in := r.in[res.in]
-		vs := in.vcs[res.vc]
+		l := res.in*r.V + res.vc
 		// Speculative SA: a grant issued in parallel with a failed VA is
 		// void (paper §3.A); the flit retries.
-		if vs.outVC < 0 {
+		if r.outVC[l] < 0 {
 			continue
 		}
 		// A fault storm may have killed or salvaged the VC since the grant
@@ -315,52 +515,54 @@ func (r *Router) executeReservations(now sim.Cycle) {
 		}
 		// Credits may have been drained by a pseudo-circuit traversal after
 		// the request was credit-checked; re-verify and retry on failure.
-		if !r.out[res.out].hasCredit(vs.outVC) {
+		if !r.hasCredit(res.out, r.outVC[l]) {
 			continue
 		}
-		if len(vs.buf) == 0 || vs.buf[0] != res.f {
+		if r.bufLen[l] == 0 || r.buf[l*r.D] != res.f {
 			panic(fmt.Sprintf("router %d: reservation lost its flit at in %d vc %d", r.ID, res.in, res.vc))
 		}
-		r.popBuffer(in, res.vc)
+		r.popHead(res.in, res.vc)
 		r.traverse(now, res.in, res.vc, res.out, res.f, false, false)
-		r.busyIn[res.in] = true
-		r.busyOut[res.out] = true
+		r.busyIn |= 1 << uint(res.in)
+		r.busyOut |= 1 << uint(res.out)
 	}
 }
 
 // admitHeads activates the packet whose header flit has reached the head of
-// an idle VC, latching its lookahead route (phase 2a).
+// an idle VC, latching its lookahead route (phase 2a). The scan walks only
+// lanes with buffered flits and no active packet (occ &^ act).
 func (r *Router) admitHeads() {
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
-			if vs.active || len(vs.buf) == 0 {
-				continue
-			}
-			h := vs.buf[0]
+	for i := 0; i < r.nIn; i++ {
+		for m := r.occ[i] &^ r.act[i]; m != 0; m &= m - 1 {
+			vc := bits.TrailingZeros64(m)
+			h := r.buf[(i*r.V+vc)*r.D]
 			if !h.Kind.IsHead() {
 				panic(fmt.Sprintf("router %d: non-head flit %v at head of idle VC", r.ID, h))
 			}
-			r.admit(vs, h)
+			r.admit(i, vc, h)
 		}
 	}
 }
 
-func (r *Router) admit(vs *vcState, h *flit.Flit) {
-	vs.active = true
-	vs.outPort = h.NextOut
-	vs.outVC = -1
-	vs.class = h.RouteClass
-	vs.src = h.Packet.Src
-	vs.dst = h.Packet.Dst
-	vs.pkt = h.Packet
-	if vs.outPort < 0 || vs.outPort >= len(r.out) {
-		panic(fmt.Sprintf("router %d: header %v carries invalid output port %d", r.ID, h, vs.outPort))
+func (r *Router) admit(in, vc int, h *flit.Flit) {
+	l := in*r.V + vc
+	r.activeL[l] = true
+	r.act[in] |= 1 << uint(vc)
+	r.va[in] |= 1 << uint(vc)
+	r.outPort[l] = h.NextOut
+	r.outVC[l] = -1
+	r.classL[l] = h.RouteClass
+	r.srcL[l] = h.Packet.Src
+	r.dstL[l] = h.Packet.Dst
+	r.pkt[l] = h.Packet
+	if h.NextOut < 0 || h.NextOut >= r.nOut {
+		panic(fmt.Sprintf("router %d: header %v carries invalid output port %d", r.ID, h, h.NextOut))
 	}
 	// Lookahead routing computed NextOut at the previous hop; a fault storm
 	// between then and now may have killed the link. Re-route at admission
 	// so the stale lookahead cannot commit the packet to a dead port.
-	if r.cfg.Reroute != nil && vs.outPort < 4 && r.linkDead(vs.outPort) {
-		vs.outPort = r.cfg.Reroute(r.ID, vs.dst, vs.class)
+	if r.cfg.Reroute != nil && r.outPort[l] < 4 && r.linkDead(r.outPort[l]) {
+		r.outPort[l] = r.cfg.Reroute(r.ID, r.dstL[l], r.classL[l])
 	}
 }
 
@@ -372,73 +574,89 @@ func (r *Router) linkDead(out int) bool {
 
 // allocateVCs performs VA for admitted packets without an output VC
 // (phase 2b). VA is independent of SA, so it proceeds for pseudo-circuit
-// flits too. Inputs are scanned from a rotating offset for fairness.
+// flits too. Inputs are scanned from a rotating offset for fairness; within a
+// port only lanes still awaiting VA with a buffered flit (va & occ) are
+// visited — a router full of streaming bodies skips the phase entirely.
 func (r *Router) allocateVCs(now sim.Cycle) {
-	n := len(r.in)
-	start := int(now) % n
+	n := r.nIn
+	// start = int(now) % n, advanced incrementally: routers on consecutive
+	// active cycles pay one wrap test instead of an integer division.
+	start := r.vaStart + int(int64(now)-r.vaNow)
+	if start >= n || start < 0 {
+		start = int(int64(now) % int64(n))
+	}
+	r.vaNow, r.vaStart = int64(now), start
 	for k := 0; k < n; k++ {
-		in := r.in[(start+k)%n]
-		for _, vs := range in.vcs {
-			if !vs.active || vs.outVC >= 0 || len(vs.buf) == 0 {
-				continue
-			}
-			if !vs.buf[0].Kind.IsHead() {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		for m := r.va[i] & r.occ[i]; m != 0; m &= m - 1 {
+			vc := bits.TrailingZeros64(m)
+			if !r.headHead[i*r.V+vc] {
 				continue // header already traversed; body flits keep the VC
 			}
-			r.tryVA(vs)
+			r.tryVA(i, vc)
 		}
 	}
 }
 
-// tryVA attempts VC allocation for the packet owning vs; it returns true on
-// success.
-func (r *Router) tryVA(vs *vcState) bool {
-	o := r.out[vs.outPort]
-	if !o.ejection && r.linkDead(vs.outPort) {
+// tryVA attempts VC allocation for the packet owning lane (in, vc); it
+// returns true on success.
+func (r *Router) tryVA(in, vc int) bool {
+	l := in*r.V + vc
+	out := r.outPort[l]
+	if !r.ejection[out] && r.linkDead(out) {
 		return false // dead link: hold the packet until recovery or reroute
 	}
 	var v int
-	if o.ejection {
+	if r.ejection[out] {
 		// The receiver NI drains every VC; allocate within the class.
-		lo, _ := r.cfg.Alloc.ClassRange(vs.class)
+		lo, _ := r.cfg.Alloc.ClassRange(r.classL[l])
 		v = lo
 	} else {
-		v = r.cfg.Alloc.Pick(vs.src, vs.dst, vs.class, o.vcBusy, o.credits)
+		v = r.cfg.Alloc.Pick(r.srcL[l], r.dstL[l], r.classL[l],
+			r.vcBusy[out*r.V:(out+1)*r.V], r.credits[out*r.V:(out+1)*r.V])
 		if v < 0 {
 			return false
 		}
-		o.vcBusy[v] = true
+		r.vcBusy[out*r.V+v] = true
 	}
-	vs.outVC = v
+	r.outVC[l] = v
+	r.va[in] &^= 1 << uint(vc)
 	return true
 }
 
 // classify splits eligible head flits into pseudo-circuit candidates and SA
 // requests (phase 3a). A flit is eligible once it has spent a full cycle in
-// the buffer (BW stage).
+// the buffer (BW stage). One linear pass per router: the per-port occupancy
+// masks select the populated lanes and the pseudo-circuit comparator inputs
+// (pcInVC/pcOut/pcValid) are read from the contiguous register file, so the
+// comparator check is a batched walk across input ports rather than a
+// per-object pointer chase.
 func (r *Router) classify(now sim.Cycle) {
 	r.reqs = r.reqs[:0]
-	for i, in := range r.in {
+	pseudo := r.cfg.Opts.Pseudo
+	for i := 0; i < r.nIn; i++ {
 		r.pcCand[i] = -1
-		for v, vs := range in.vcs {
-			if !vs.active || len(vs.buf) == 0 {
-				continue
-			}
-			if in.vcs[v].at[0] >= now {
+		for m := r.act[i] & r.occ[i]; m != 0; m &= m - 1 {
+			vc := bits.TrailingZeros64(m)
+			l := i*r.V + vc
+			if r.headAt[l] >= int64(now) {
 				continue // still in BW this cycle
 			}
-			if r.linkDead(vs.outPort) {
+			out := r.outPort[l]
+			if r.linkDead(out) {
 				continue // dead link: stall until recovery or the storm's reroute
 			}
-			if vs.outVC < 0 {
+			if r.outVC[l] < 0 {
 				// Header whose VA failed: issue a speculative SA request
 				// anyway (grant will be void), modelling the speculative
 				// pipeline's wasted grants.
-				r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+				r.reqs = append(r.reqs, saRequest{in: i, vc: vc, out: out})
 				continue
 			}
-			o := r.out[vs.outPort]
-			if !o.hasCredit(vs.outVC) {
+			if !r.hasCredit(out, r.outVC[l]) {
 				if r.rs != nil {
 					r.rs.In[i].CreditStalls++
 				}
@@ -448,11 +666,11 @@ func (r *Router) classify(now sim.Cycle) {
 			// rides it instead of re-arbitrating, even if the crossbar port
 			// is occupied this cycle (back-to-back streaming: it traverses
 			// next cycle, still without SA).
-			if r.cfg.Opts.Pseudo && in.pc.Match(v, vs.outPort) && r.pcCand[i] < 0 {
-				r.pcCand[i] = v
+			if pseudo && r.pcCand[i] < 0 && r.pcMatch(i, vc, out) {
+				r.pcCand[i] = vc
 				continue
 			}
-			r.reqs = append(r.reqs, saRequest{in: i, vc: v, out: vs.outPort})
+			r.reqs = append(r.reqs, saRequest{in: i, vc: vc, out: out})
 		}
 	}
 }
@@ -461,24 +679,24 @@ func (r *Router) classify(now sim.Cycle) {
 // (phase 3b). With the paper's starvation-free policy a candidate defers to
 // any SA request claiming either of its ports.
 func (r *Router) pcTraversals(now sim.Cycle) {
-	for i, in := range r.in {
+	for i := 0; i < r.nIn; i++ {
 		v := r.pcCand[i]
 		if v < 0 {
 			continue
 		}
-		vs := in.vcs[v]
-		if r.busyIn[i] || r.busyOut[vs.outPort] {
+		l := i*r.V + v
+		out := r.outPort[l]
+		if (r.busyIn>>uint(i))&1 != 0 || (r.busyOut>>uint(out))&1 != 0 {
 			continue // crossbar port in use this cycle; ride the circuit next cycle
 		}
-		if r.cfg.Opts.PCDefersToSA && r.saClaims(i, vs.outPort) {
+		if r.cfg.Opts.PCDefersToSA && r.saClaims(i, out) {
 			continue
 		}
-		f := vs.buf[0]
-		out := vs.outPort
-		r.popBuffer(in, v)
+		f := r.buf[l*r.D]
+		r.popHead(i, v)
 		r.traverse(now, i, v, out, f, true, false)
-		r.busyIn[i] = true
-		r.busyOut[out] = true
+		r.busyIn |= 1 << uint(i)
+		r.busyOut |= 1 << uint(out)
 	}
 }
 
@@ -496,49 +714,53 @@ func (r *Router) saClaims(in, out int) bool {
 // switchArbitrate runs the separable round-robin switch allocator
 // (phase 4): one request per input port, then one input per output port.
 // Grants reserve the crossbar for next cycle and terminate conflicting
-// pseudo-circuits.
+// pseudo-circuits. With no requests the whole phase is skipped — the
+// arbitration scans below only visit inputs that won input arbitration
+// (chosenMask), so an idle router pays nothing here.
 func (r *Router) switchArbitrate(now sim.Cycle) {
-	// Input arbitration: choose one requesting VC per input port.
-	for i := range r.chosen {
-		r.chosen[i] = -1
+	if len(r.reqs) == 0 {
+		return
 	}
+	// Input arbitration: choose one requesting VC per input port.
+	var chosenMask uint64
 	for qi, q := range r.reqs {
-		ip := r.in[q.in]
-		if r.chosen[q.in] < 0 {
+		if chosenMask&(1<<uint(q.in)) == 0 {
+			chosenMask |= 1 << uint(q.in)
 			r.chosen[q.in] = qi
 			continue
 		}
 		// Round-robin preference: smallest (vc - rrVC) mod V wins.
 		cur := r.reqs[r.chosen[q.in]]
-		if rrDist(q.vc, ip.rrVC, r.cfg.NumVCs) < rrDist(cur.vc, ip.rrVC, r.cfg.NumVCs) {
+		if rrDist(q.vc, r.rrVC[q.in], r.V) < rrDist(cur.vc, r.rrVC[q.in], r.V) {
 			r.chosen[q.in] = qi
 		}
 	}
-	// Output arbitration among the per-input winners.
-	for o, op := range r.out {
+	// Output arbitration among the per-input winners, visiting only outputs
+	// they actually request.
+	var outMask uint64
+	for m := chosenMask; m != 0; m &= m - 1 {
+		outMask |= 1 << uint(r.reqs[r.chosen[bits.TrailingZeros64(m)]].out)
+	}
+	for om := outMask; om != 0; om &= om - 1 {
+		o := bits.TrailingZeros64(om)
 		best := -1
-		for i := range r.in {
-			qi := r.chosen[i]
-			if qi < 0 || r.reqs[qi].out != o {
+		for m := chosenMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if r.reqs[r.chosen[i]].out != o {
 				continue
 			}
-			if best < 0 || rrDist(i, op.rrIn, len(r.in)) < rrDist(best, op.rrIn, len(r.in)) {
+			if best < 0 || rrDist(i, r.rrIn[o], r.nIn) < rrDist(best, r.rrIn[o], r.nIn) {
 				best = i
 			}
 		}
-		if best < 0 {
-			continue
-		}
-		q := r.reqs[r.chosen[best]]
-		vs := r.in[q.in].vcs[q.vc]
-		r.grant(now, q, vs)
+		r.grant(now, r.reqs[r.chosen[best]])
 	}
 }
 
-func (r *Router) grant(now sim.Cycle, q saRequest, vs *vcState) {
+func (r *Router) grant(now sim.Cycle, q saRequest) {
 	r.cfg.Energy.AddArbitration()
 	r.cfg.Stats.SAGrants++
-	f := vs.buf[0]
+	f := r.buf[(q.in*r.V+q.vc)*r.D]
 	if r.rs != nil {
 		r.rs.SAGrants++
 	}
@@ -550,40 +772,61 @@ func (r *Router) grant(now sim.Cycle, q saRequest, vs *vcState) {
 		})
 	}
 	r.nextRes = append(r.nextRes, reservation{in: q.in, vc: q.vc, out: q.out, f: f})
-	r.in[q.in].rrVC = (q.vc + 1) % r.cfg.NumVCs
-	r.out[q.out].rrIn = (q.in + 1) % len(r.in)
+	if r.rrVC[q.in] = q.vc + 1; r.rrVC[q.in] == r.V {
+		r.rrVC[q.in] = 0
+	}
+	if r.rrIn[q.out] = q.in + 1; r.rrIn[q.out] == r.nIn {
+		r.rrIn[q.out] = 0
+	}
 	if r.cfg.Opts.Pseudo {
 		// The new connection claims its ports: terminate conflicting
-		// pseudo-circuits (§3.C condition 1).
-		for i, in := range r.in {
-			if in.pc.Valid && (i == q.in || in.pc.OutPort == q.out) {
-				in.pc.Terminate()
-				r.cfg.Stats.PCTerminated++
-				if r.rs != nil {
-					r.rs.PCTerminated++
-				}
+		// pseudo-circuits (§3.C condition 1) — the granted input's own
+		// circuit and the circuit of whichever input holds the output.
+		if r.pcValid[q.in] {
+			r.pcTerminate(q.in)
+			r.cfg.Stats.PCTerminated++
+			if r.rs != nil {
+				r.rs.PCTerminated++
+			}
+		}
+		if j := r.pcByOut[q.out]; j >= 0 {
+			r.pcTerminate(j)
+			r.cfg.Stats.PCTerminated++
+			if r.rs != nil {
+				r.rs.PCTerminated++
 			}
 		}
 	}
 }
 
-// rrDist is the round-robin distance from pointer ptr to index x modulo n.
-func rrDist(x, ptr, n int) int { return ((x-ptr)%n + n) % n }
+// rrDist is the round-robin distance from pointer ptr to index x modulo n;
+// both lie in [0, n), so one conditional add replaces the modulo.
+func rrDist(x, ptr, n int) int {
+	d := x - ptr
+	if d < 0 {
+		d += n
+	}
+	return d
+}
 
 // maintainPseudoCircuits terminates circuits whose output ran out of credit
 // (§3.C condition 2) and speculatively revives circuits on idle outputs
-// (§4.A) — phase 5.
+// (§4.A) — phase 5. The PCByOut reverse index makes the former O(ports²)
+// output-has-circuit scan a single lookup.
 func (r *Router) maintainPseudoCircuits() {
 	if !r.cfg.Opts.Pseudo {
 		return
 	}
 	if r.cfg.Opts.TerminateOnZeroCredit {
-		for _, in := range r.in {
-			if !in.pc.Valid {
-				continue
-			}
-			if !r.pcHasCredit(in) {
-				in.pc.Terminate()
+		for m := r.pcMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			// §3.C condition 2: "congestion at the downstream router on the
+			// output port" — a port-level condition (no credit left in any
+			// VC); transient per-VC exhaustion inside a streaming packet does
+			// not terminate the circuit, because per-flit safety is already
+			// enforced by the credit check every traversal performs.
+			if !r.anyCredit(r.pcOut[i]) {
+				r.pcTerminate(i)
 				r.cfg.Stats.PCTerminated++
 				if r.rs != nil {
 					r.rs.PCTerminated++
@@ -595,25 +838,30 @@ func (r *Router) maintainPseudoCircuits() {
 	if !r.cfg.Opts.Speculation {
 		return
 	}
-	for o, op := range r.out {
-		if !op.hist.Valid || r.outputHasPC(o) || r.outputReserved(o) {
-			continue
-		}
+	// Only outputs with a recorded history, no live circuit, and no crossbar
+	// reservation for next cycle can host a speculative connection; the masks
+	// select exactly those.
+	var resMask uint64
+	for _, res := range r.nextRes {
+		resMask |= 1 << uint(res.out)
+	}
+	for om := r.histMask &^ r.heldMask &^ resMask; om != 0; om &= om - 1 {
+		o := bits.TrailingZeros64(om)
 		if r.linkDead(o) {
 			continue // never speculate a circuit across a dead link
 		}
-		if !op.anyCredit() && !r.cfg.Opts.SpeculateToCongested {
+		if !r.anyCredit(o) && !r.cfg.Opts.SpeculateToCongested {
 			continue
 		}
-		in := r.in[op.hist.InPort]
-		if in.pc.Valid {
+		in := r.histIn[o]
+		if r.pcValid[in] {
 			continue
 		}
-		vc, ok := in.hist.Lookup(o)
+		vc, ok := r.hist[in].Lookup(o)
 		if !ok {
 			continue
 		}
-		in.pc.SetSpeculative(vc, o)
+		r.pcSetSpeculative(in, vc, o)
 		r.cfg.Stats.PCSpeculated++
 		if r.rs != nil {
 			r.rs.PCSpeculated++
@@ -622,57 +870,25 @@ func (r *Router) maintainPseudoCircuits() {
 	}
 }
 
-// pcHasCredit reports whether the pseudo-circuit's output port is congested
-// (§3.C condition 2: "congestion at the downstream router on the output
-// port"). Congestion is a port-level condition — no credit left in any VC;
-// transient per-VC credit exhaustion inside a streaming packet does not
-// terminate the circuit, because per-flit safety is already enforced by the
-// credit check every traversal performs.
-func (r *Router) pcHasCredit(in *inputPort) bool {
-	return r.out[in.pc.OutPort].anyCredit()
-}
-
-func (r *Router) outputHasPC(out int) bool {
-	for _, in := range r.in {
-		if in.pc.Valid && in.pc.OutPort == out {
-			return true
-		}
-	}
-	return false
-}
-
-func (r *Router) outputReserved(out int) bool {
-	for _, res := range r.nextRes {
-		if res.out == out {
-			return true
-		}
-	}
-	return false
-}
-
 // processArrivals handles flits delivered this cycle: buffer bypass when a
 // connected pseudo-circuit matches (§4.B), buffer write otherwise
 // (phase 6).
 func (r *Router) processArrivals(now sim.Cycle) {
-	for i, in := range r.in {
-		f := in.arrival
-		if f == nil {
-			continue
-		}
-		in.arrival = nil
+	for m := r.arrMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		f := r.arrival[i]
+		r.arrival[i] = nil
 		if r.tryBypass(now, i, f) {
 			continue
 		}
-		vs := in.vcs[f.VC]
-		if len(vs.buf) >= r.cfg.BufDepth {
+		if r.bufLen[i*r.V+f.VC] >= r.D {
 			panic(fmt.Sprintf("router %d: buffer overflow at in %d vc %d (credit protocol violated)", r.ID, i, f.VC))
 		}
-		vs.buf = append(vs.buf, f)
-		vs.at = append(vs.at, now)
+		depth := r.pushBuf(i, f.VC, f, now)
 		r.cfg.Energy.AddWrite()
 		if r.rs != nil {
-			if d := len(vs.buf); d > r.rs.In[i].BufHighWater {
-				r.rs.In[i].BufHighWater = d
+			if depth > r.rs.In[i].BufHighWater {
+				r.rs.In[i].BufHighWater = depth
 			}
 		}
 		if r.tr != nil {
@@ -683,6 +899,7 @@ func (r *Router) processArrivals(now sim.Cycle) {
 			})
 		}
 	}
+	r.arrMask = 0
 }
 
 // tryBypass attempts buffer bypassing for an arriving flit; on success the
@@ -691,56 +908,46 @@ func (r *Router) tryBypass(now sim.Cycle, i int, f *flit.Flit) bool {
 	if !r.cfg.Opts.BufferBypass {
 		return false
 	}
-	in := r.in[i]
-	vs := in.vcs[f.VC]
-	if len(vs.buf) != 0 || r.busyIn[i] {
+	l := i*r.V + f.VC
+	if r.bufLen[l] != 0 || (r.busyIn>>uint(i))&1 != 0 {
 		return false
 	}
 	if f.Kind.IsHead() {
-		if vs.active {
+		if r.activeL[l] {
 			return false // previous packet's tail still in flight upstream of us
 		}
 		if r.linkDead(f.NextOut) {
 			return false // dead onward link: buffer, then re-route at admission
 		}
-		if !in.pc.Match(f.VC, f.NextOut) || r.busyOut[f.NextOut] {
+		if !r.pcMatch(i, f.VC, f.NextOut) || (r.busyOut>>uint(f.NextOut))&1 != 0 {
 			return false
 		}
 		// VA in parallel with the bypass (§4.B: "VA is performed only for
 		// header flits and it needs the output port numbers only").
-		r.admit(vs, f)
-		if !r.tryVA(vs) {
-			vs.reset()
+		r.admit(i, f.VC, f)
+		if !r.tryVA(i, f.VC) {
+			r.resetLane(i, f.VC)
 			return false
 		}
 	} else {
-		if !vs.active || vs.outVC < 0 {
+		if !r.activeL[l] || r.outVC[l] < 0 {
 			panic(fmt.Sprintf("router %d: body flit %v arrived on idle VC", r.ID, f))
 		}
-		if r.linkDead(vs.outPort) {
+		if r.linkDead(r.outPort[l]) {
 			return false
 		}
-		if !in.pc.Match(f.VC, vs.outPort) || r.busyOut[vs.outPort] {
+		if !r.pcMatch(i, f.VC, r.outPort[l]) || (r.busyOut>>uint(r.outPort[l]))&1 != 0 {
 			return false
 		}
 	}
-	if !r.out[vs.outPort].hasCredit(vs.outVC) {
+	if !r.hasCredit(r.outPort[l], r.outVC[l]) {
 		return false
 	}
-	out := vs.outPort
+	out := r.outPort[l]
 	r.traverse(now, i, f.VC, out, f, true, true)
-	r.busyIn[i] = true
-	r.busyOut[out] = true
+	r.busyIn |= 1 << uint(i)
+	r.busyOut |= 1 << uint(out)
 	return true
-}
-
-// popBuffer removes the head flit of (in, vc), paying buffer-read energy and
-// returning the freed slot's credit upstream.
-func (r *Router) popBuffer(in *inputPort, vc int) {
-	vs := in.vcs[vc]
-	vs.buf = vs.buf[:copy(vs.buf, vs.buf[1:])]
-	vs.at = vs.at[:copy(vs.at, vs.at[1:])]
-	r.cfg.Energy.AddRead()
 }
 
 // traverse moves flit f through the crossbar from (in, vc) to out: the ST
@@ -748,9 +955,7 @@ func (r *Router) popBuffer(in *inputPort, vc int) {
 // (the flit never occupied the buffer).
 func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, bypass bool) {
 	r.worked = true
-	ip := r.in[in]
-	vs := ip.vcs[vc]
-	op := r.out[out]
+	l := in*r.V + vc
 	st := r.cfg.Stats
 
 	// Fig. 1 crossbar-connection temporal locality, measured at packet
@@ -758,13 +963,13 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 	// their header's connection by construction and would trivially inflate
 	// the metric.
 	if f.Kind.IsHead() {
-		if ip.lastOut >= 0 {
+		if r.lastOut[in] >= 0 {
 			st.XbarPrev++
-			if ip.lastOut == out {
+			if r.lastOut[in] == out {
 				st.XbarSame++
 			}
 		}
-		ip.lastOut = out
+		r.lastOut[in] = out
 	}
 
 	st.Traversals++
@@ -774,7 +979,7 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 	}
 	if viaPC {
 		st.PCReused++
-		if ip.pc.Speculative {
+		if r.pcSpec[in] {
 			st.SpecReused++
 		}
 		if f.Kind.IsHead() {
@@ -798,7 +1003,7 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 		if viaPC {
 			rs.PCReused++
 			ps.PCReused++
-			if ip.pc.Speculative {
+			if r.pcSpec[in] {
 				rs.SpecReused++
 			}
 			if f.Kind.IsHead() {
@@ -828,42 +1033,46 @@ func (r *Router) traverse(now sim.Cycle, in, vc, out int, f *flit.Flit, viaPC, b
 	// Pseudo-circuit refresh: every traversal (re)writes the register
 	// (§3.B) and claims the output, terminating any other circuit on it.
 	if r.cfg.Opts.Pseudo {
-		if !ip.pc.Match(vc, out) {
+		if !r.pcMatch(in, vc, out) {
 			st.PCCreated++
 			if r.rs != nil {
 				r.rs.PCCreated++
 			}
 		}
-		for j, other := range r.in {
-			if j != in && other.pc.Valid && other.pc.OutPort == out {
-				other.pc.Terminate()
-				st.PCTerminated++
-				if r.rs != nil {
-					r.rs.PCTerminated++
-				}
+		if j := r.pcByOut[out]; j >= 0 && j != in {
+			r.pcTerminate(j)
+			st.PCTerminated++
+			if r.rs != nil {
+				r.rs.PCTerminated++
 			}
 		}
-		ip.pc.Set(vc, out)
-		ip.hist.Record(vc, out)
-		op.hist.Record(in)
+		r.pcSet(in, vc, out)
+		r.hist[in].Record(vc, out)
+		r.histIn[out] = in
+		r.histValid[out] = true
+		r.histMask |= 1 << uint(out)
 	}
 
 	// Flow control and lookahead state for the next hop.
-	f.VC = vs.outVC
-	if !op.ejection {
-		op.credits[vs.outVC]--
-		if op.credits[vs.outVC] < 0 {
-			panic(fmt.Sprintf("router %d: negative credit on out %d vc %d", r.ID, out, vs.outVC))
+	ov := r.outVC[l]
+	f.VC = ov
+	if !r.ejection[out] {
+		m := out*r.V + ov
+		r.credits[m]--
+		if r.credits[m] == 0 {
+			r.outCred[out]--
+		} else if r.credits[m] < 0 {
+			panic(fmt.Sprintf("router %d: negative credit on out %d vc %d", r.ID, out, ov))
 		}
 	}
 	if f.Kind.IsHead() {
 		f.Packet.Hops++
 	}
 	if f.Kind.IsTail() {
-		if !op.ejection {
-			op.vcBusy[vs.outVC] = false
+		if !r.ejection[out] {
+			r.vcBusy[out*r.V+ov] = false
 		}
-		vs.reset()
+		r.resetLane(in, vc)
 	}
 	// The buffer slot (real or bypassed) is free again: return the credit.
 	r.outSends[out]++
@@ -908,39 +1117,41 @@ type FaultContext struct {
 // re-routed. Called between cycles from the kernel's main phase, so staged
 // arrivals are always nil and scratch state is idle.
 func (r *Router) FaultScan(fc *FaultContext) {
-	for _, in := range r.in {
-		if in.pc.Valid && (fc.RouterDead || fc.LinkDead(in.pc.OutPort)) {
-			in.hist.Drop(in.pc.OutPort)
-			in.pc.Clear()
+	for i := 0; i < r.nIn; i++ {
+		if r.pcValid[i] && (fc.RouterDead || fc.LinkDead(r.pcOut[i])) {
+			r.hist[i].Drop(r.pcOut[i])
+			r.pcClear(i)
 			fc.PCTerm()
 		}
-		for _, vs := range in.vcs {
-			for _, f := range vs.buf {
+		for vc := 0; vc < r.V; vc++ {
+			l := i*r.V + vc
+			for _, f := range r.buf[l*r.D : l*r.D+r.bufLen[l]] {
 				if fc.RouterDead || fc.DstDead(f.Packet.Dst) {
 					fc.Kill(f.Packet)
 				}
 			}
-			if !vs.active {
+			if !r.activeL[l] {
 				continue
 			}
 			switch {
-			case fc.RouterDead || fc.DstDead(vs.dst):
-				fc.Kill(vs.pkt)
-			case vs.outPort < len(r.out) && !r.out[vs.outPort].ejection && fc.LinkDead(vs.outPort):
-				if vs.outVC < 0 {
+			case fc.RouterDead || fc.DstDead(r.dstL[l]):
+				fc.Kill(r.pkt[l])
+			case r.outPort[l] < r.nOut && !r.ejection[r.outPort[l]] && fc.LinkDead(r.outPort[l]):
+				if r.outVC[l] < 0 {
 					// Not yet committed to an output VC: detour in place.
-					vs.outPort = fc.Reroute(vs.dst, vs.class)
-				} else if fc.Salvage && len(vs.buf) > 0 && vs.buf[0].Kind.IsHead() {
+					r.outPort[l] = fc.Reroute(r.dstL[l], r.classL[l])
+				} else if fc.Salvage && r.bufLen[l] > 0 && r.buf[l*r.D].Kind.IsHead() {
 					// Committed but the whole packet is still here: release
 					// the allocation and detour.
-					r.out[vs.outPort].vcBusy[vs.outVC] = false
-					vs.outVC = -1
-					vs.outPort = fc.Reroute(vs.dst, vs.class)
-					fc.Salvaged(vs.pkt)
+					r.vcBusy[r.outPort[l]*r.V+r.outVC[l]] = false
+					r.outVC[l] = -1
+					r.va[i] |= 1 << uint(vc)
+					r.outPort[l] = fc.Reroute(r.dstL[l], r.classL[l])
+					fc.Salvaged(r.pkt[l])
 				} else {
 					// Partially forwarded (or salvage disabled): the wormhole
 					// spans the dead link and cannot be reassembled.
-					fc.Kill(vs.pkt)
+					fc.Kill(r.pkt[l])
 				}
 			}
 		}
@@ -959,15 +1170,16 @@ func (r *Router) FaultScan(fc *FaultContext) {
 // source holds no network resources and must not count against the bound.
 // Called between cycles from the kernel's main phase.
 func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
-	for _, in := range r.in {
-		for _, vs := range in.vcs {
-			for _, f := range vs.buf {
+	for i := 0; i < r.nIn; i++ {
+		for vc := 0; vc < r.V; vc++ {
+			l := i*r.V + vc
+			for _, f := range r.buf[l*r.D : l*r.D+r.bufLen[l]] {
 				if f.Packet.NetStart < cutoff {
 					kill(f.Packet)
 				}
 			}
-			if vs.active && vs.pkt.NetStart < cutoff {
-				kill(vs.pkt)
+			if r.activeL[l] && r.pkt[l].NetStart < cutoff {
+				kill(r.pkt[l])
 			}
 		}
 	}
@@ -980,24 +1192,24 @@ func (r *Router) FaultStale(cutoff sim.Cycle, kill func(p *flit.Packet)) {
 // for p skip harmlessly next cycle because the VC's outVC resets. Called
 // from the kernel's main phase only.
 func (r *Router) FaultPurge(p *flit.Packet, drop func(f *flit.Flit)) {
-	for i, in := range r.in {
-		for v, vs := range in.vcs {
-			for k := 0; k < len(vs.buf); {
-				if vs.buf[k].Packet != p {
+	for i := 0; i < r.nIn; i++ {
+		for vc := 0; vc < r.V; vc++ {
+			l := i*r.V + vc
+			for k := 0; k < r.bufLen[l]; {
+				if r.buf[l*r.D+k].Packet != p {
 					k++
 					continue
 				}
-				f := vs.buf[k]
-				vs.buf = append(vs.buf[:k], vs.buf[k+1:]...)
-				vs.at = append(vs.at[:k], vs.at[k+1:]...)
-				r.cfg.Credit(r.ID, i, v)
+				f := r.buf[l*r.D+k]
+				r.removeBufAt(i, vc, k)
+				r.cfg.Credit(r.ID, i, vc)
 				drop(f)
 			}
-			if vs.active && vs.pkt == p {
-				if vs.outVC >= 0 && !r.out[vs.outPort].ejection {
-					r.out[vs.outPort].vcBusy[vs.outVC] = false
+			if r.activeL[l] && r.pkt[l] == p {
+				if r.outVC[l] >= 0 && !r.ejection[r.outPort[l]] {
+					r.vcBusy[r.outPort[l]*r.V+r.outVC[l]] = false
 				}
-				vs.reset()
+				r.resetLane(i, vc)
 			}
 		}
 	}
@@ -1009,64 +1221,105 @@ func (r *Router) Quiescent() bool {
 	if len(r.res) != 0 {
 		return false
 	}
-	for _, in := range r.in {
-		if in.arrival != nil {
+	for i := 0; i < r.nIn; i++ {
+		if r.arrival[i] != nil || r.occ[i]|r.act[i] != 0 {
 			return false
-		}
-		for _, vs := range in.vcs {
-			if len(vs.buf) != 0 || vs.active {
-				return false
-			}
 		}
 	}
 	return true
 }
 
 // CheckInvariants panics if internal invariants are violated; tests call it
-// every cycle.
+// every cycle. Beyond the paper's structural invariants it verifies every
+// derived structure the SoA layout introduced — the occupancy masks and the
+// PCByOut reverse index — against the ground-truth arrays.
 func (r *Router) CheckInvariants() {
-	seenOut := make(map[int]int)
-	for i, in := range r.in {
-		if in.pc.Valid {
-			if prev, ok := seenOut[in.pc.OutPort]; ok {
-				panic(fmt.Sprintf("router %d: inputs %d and %d both hold a pseudo-circuit to output %d", r.ID, prev, i, in.pc.OutPort))
+	var pcMask uint64
+	for i := 0; i < r.nIn; i++ {
+		var occ, act, va uint64
+		for vc := 0; vc < r.V; vc++ {
+			l := i*r.V + vc
+			if r.bufLen[l] < 0 || r.bufLen[l] > r.D {
+				panic(fmt.Sprintf("router %d: buffer overflow at in %d vc %d", r.ID, i, vc))
 			}
-			seenOut[in.pc.OutPort] = i
+			if r.bufLen[l] > 0 {
+				occ |= 1 << uint(vc)
+				if r.headAt[l] != r.at[l*r.D] || r.headHead[l] != r.buf[l*r.D].Kind.IsHead() {
+					panic(fmt.Sprintf("router %d: head cache desynced at in %d vc %d", r.ID, i, vc))
+				}
+			}
+			if r.activeL[l] {
+				act |= 1 << uint(vc)
+				if r.outVC[l] < 0 {
+					va |= 1 << uint(vc)
+				}
+			}
 		}
-		for v, vs := range in.vcs {
-			if len(vs.buf) != len(vs.at) {
-				panic(fmt.Sprintf("router %d: buffer/timestamp desync at in %d vc %d", r.ID, i, v))
-			}
-			if len(vs.buf) > r.cfg.BufDepth {
-				panic(fmt.Sprintf("router %d: buffer overflow at in %d vc %d", r.ID, i, v))
-			}
+		if occ != r.occ[i] || act != r.act[i] {
+			panic(fmt.Sprintf("router %d: occupancy masks desynced at in %d (occ %b/%b act %b/%b)",
+				r.ID, i, r.occ[i], occ, r.act[i], act))
+		}
+		if va != r.va[i] {
+			panic(fmt.Sprintf("router %d: VA mask desynced at in %d (%b, lanes say %b)", r.ID, i, r.va[i], va))
+		}
+		if r.pcValid[i] {
+			pcMask |= 1 << uint(i)
 		}
 	}
-	for o, op := range r.out {
-		if op.ejection {
-			continue
-		}
-		for v, c := range op.credits {
-			if c < 0 || c > r.cfg.BufDepth {
-				panic(fmt.Sprintf("router %d: credit %d out of range on out %d vc %d", r.ID, c, o, v))
+	if pcMask != r.pcMask {
+		panic(fmt.Sprintf("router %d: pcMask desynced (%b, registers say %b)", r.ID, r.pcMask, pcMask))
+	}
+	var heldMask uint64
+	for o := 0; o < r.nOut; o++ {
+		holder := -1
+		for i := 0; i < r.nIn; i++ {
+			if r.pcValid[i] && r.pcOut[i] == o {
+				if holder >= 0 {
+					panic(fmt.Sprintf("router %d: inputs %d and %d both hold a pseudo-circuit to output %d", r.ID, holder, i, o))
+				}
+				holder = i
 			}
 		}
+		if holder != r.pcByOut[o] {
+			panic(fmt.Sprintf("router %d: PCByOut[%d] = %d, register file says %d", r.ID, o, r.pcByOut[o], holder))
+		}
+		if holder >= 0 {
+			heldMask |= 1 << uint(o)
+		}
+		if r.histValid[o] && r.histMask&(1<<uint(o)) == 0 {
+			panic(fmt.Sprintf("router %d: histMask missing output %d", r.ID, o))
+		}
+		cred := 0
+		for vc := 0; vc < r.V; vc++ {
+			c := r.credits[o*r.V+vc]
+			if !r.ejection[o] && (c < 0 || c > r.D) {
+				panic(fmt.Sprintf("router %d: credit %d out of range on out %d vc %d", r.ID, c, o, vc))
+			}
+			if c > 0 {
+				cred++
+			}
+		}
+		if cred != r.outCred[o] {
+			panic(fmt.Sprintf("router %d: outCred[%d] = %d, credits say %d", r.ID, o, r.outCred[o], cred))
+		}
+	}
+	if heldMask != r.heldMask {
+		panic(fmt.Sprintf("router %d: heldMask desynced (%b, PCByOut says %b)", r.ID, r.heldMask, heldMask))
 	}
 }
 
 // PCValid reports whether input port in currently holds a valid
 // pseudo-circuit, and to which output (testing hook).
 func (r *Router) PCValid(in int) (out int, valid bool) {
-	pc := &r.in[in].pc
-	return pc.OutPort, pc.Valid
+	return r.pcOut[in], r.pcValid[in]
 }
 
 // BufferedFlits returns the number of flits buffered across all VCs of input
 // port in (testing hook).
 func (r *Router) BufferedFlits(in int) int {
 	n := 0
-	for _, vs := range r.in[in].vcs {
-		n += len(vs.buf)
+	for vc := 0; vc < r.V; vc++ {
+		n += r.bufLen[in*r.V+vc]
 	}
 	return n
 }

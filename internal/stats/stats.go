@@ -130,6 +130,16 @@ func (n *Network) MergeCounters(src *Network) {
 	src.LatencyHist = hist
 }
 
+// MergeAll folds every shard accumulator into n in slice order. The parallel
+// kernel keeps its per-shard accumulators slice-indexed (one contiguous
+// []Network owned by the network, shard i writing only element i), so the
+// once-per-cycle drain is a single ordered walk over that slice.
+func (n *Network) MergeAll(shards []Network) {
+	for i := range shards {
+		n.MergeCounters(&shards[i])
+	}
+}
+
 // Window returns the measured window length in cycles, never negative.
 func (n *Network) Window() sim.Cycle {
 	if n.MeasuredTo <= n.MeasuredFrom {
